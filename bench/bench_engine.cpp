@@ -1,0 +1,91 @@
+// E10 — engine microbenchmarks (google-benchmark): interactions per second
+// for each protocol, scheduler overhead, and the epidemic substrate. These
+// calibrate how large an n the reproduction can afford.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+#include "protocols/angluin.hpp"
+#include "protocols/epidemic.hpp"
+#include "protocols/lottery.hpp"
+#include "protocols/mst.hpp"
+#include "protocols/pll.hpp"
+#include "protocols/pll_symmetric.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+void BM_SchedulerNext(benchmark::State& state) {
+    UniformScheduler scheduler(static_cast<std::size_t>(state.range(0)), 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.next());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SchedulerNext)->Arg(1024)->Arg(1 << 16);
+
+template <typename P>
+void run_steps(benchmark::State& state, P proto) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Engine<P> engine(std::move(proto), n, 42);
+    for (auto _ : state) {
+        engine.step();
+        benchmark::DoNotOptimize(engine.leader_count());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_StepAngluin(benchmark::State& state) { run_steps(state, Angluin{}); }
+BENCHMARK(BM_StepAngluin)->Arg(1024)->Arg(1 << 14);
+
+void BM_StepLottery(benchmark::State& state) {
+    run_steps(state, Lottery::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_StepLottery)->Arg(1024)->Arg(1 << 14);
+
+void BM_StepMst(benchmark::State& state) {
+    run_steps(state, MstStyle::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_StepMst)->Arg(1024)->Arg(1 << 14);
+
+void BM_StepPll(benchmark::State& state) {
+    run_steps(state, Pll::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_StepPll)->Arg(1024)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_StepPllSymmetric(benchmark::State& state) {
+    run_steps(state,
+              SymmetricPll::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_StepPllSymmetric)->Arg(1024)->Arg(1 << 14);
+
+void BM_FullPllElection(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::uint64_t seed = 7;
+    for (auto _ : state) {
+        Engine<Pll> engine(Pll::for_population(n), n, seed++);
+        const RunResult r = engine.run_until_one_leader(
+            static_cast<StepCount>(4000.0 * static_cast<double>(n) *
+                                   std::log2(static_cast<double>(n))));
+        benchmark::DoNotOptimize(r.converged);
+    }
+}
+BENCHMARK(BM_FullPllElection)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_EpidemicApply(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto proc = EpidemicProcess::prefix_subpopulation(n, n);
+    UniformScheduler scheduler(n, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(proc.apply(scheduler.next()));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EpidemicApply)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

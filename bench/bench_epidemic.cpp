@@ -1,0 +1,90 @@
+// E6 — Lemma 2 as a figure: one-way epidemic completion time in a
+// sub-population V′ ⊆ V, against the tail bound
+// Pr[I(2⌈n/n′⌉·t) ≠ V′] ≤ n·e^{−t/n}.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "core/random.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "protocols/epidemic.hpp"
+
+namespace {
+using namespace ppsim;
+}
+
+int main() {
+    const unsigned scale = repro_scale();
+    const std::size_t n = 4096;
+    const std::size_t reps = 200 * scale;
+
+    std::cout << "== E6: Lemma 2 — one-way epidemic completion in sub-populations ==\n"
+              << "(n = " << n << ", " << reps << " runs per sub-population size)\n\n";
+
+    TextTable table;
+    table.add_column("n'/n", Align::left);
+    table.add_column("mean steps");
+    table.add_column("p95 steps");
+    table.add_column("max steps");
+    table.add_column("bound horizon (t=n ln 2n)");
+    table.add_column("P(exceed horizon)");
+    table.add_column("bound says <=");
+
+    for (const unsigned denom : {1U, 2U, 4U, 8U}) {
+        const std::size_t n_prime = n / denom;
+        SampleSet steps_sample;
+        std::uint64_t exceeded = 0;
+        // Horizon from the lemma with t = n·ln(2n): failure ≤ n·e^{−t/n} = 1/2.
+        // We report against the much tighter empirical spread.
+        const double t = static_cast<double>(n) * std::log(2.0 * n);
+        const double horizon = 2.0 * std::ceil(static_cast<double>(n) / n_prime) * t;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            auto proc = EpidemicProcess::prefix_subpopulation(n, n_prime);
+            const StepCount used = proc.run_to_completion(
+                derive_seed(0xEA1D, rep + denom * 100000ULL),
+                static_cast<StepCount>(horizon) * 50);
+            steps_sample.add(static_cast<double>(used));
+            if (static_cast<double>(used) > horizon) ++exceeded;
+        }
+        auto proc = EpidemicProcess::prefix_subpopulation(n, n_prime);
+        table.add_row({
+            "1/" + std::to_string(denom),
+            format_double(steps_sample.mean(), 0),
+            format_double(steps_sample.percentile(95.0), 0),
+            format_double(steps_sample.max(), 0),
+            format_double(horizon, 0),
+            format_probability(static_cast<double>(exceeded) / static_cast<double>(reps)),
+            format_probability(
+                proc.lemma2_failure_bound(static_cast<StepCount>(horizon))),
+        });
+    }
+    std::cout << table.render("epidemic completion (interactions)") << "\n";
+
+    // Scaling in n at fixed n'/n = 1: completion should track Θ(n·log n).
+    TextTable growth;
+    growth.add_column("n");
+    growth.add_column("mean steps");
+    growth.add_column("mean / (n ln n)");
+    for (const std::size_t size : std::vector<std::size_t>{256, 1024, 4096, 16384}) {
+        RunningStats stats;
+        for (std::size_t rep = 0; rep < reps / 2 + 1; ++rep) {
+            auto proc = EpidemicProcess::prefix_subpopulation(size, size);
+            stats.add(static_cast<double>(proc.run_to_completion(
+                derive_seed(0xEA1E, rep + size), 1'000'000'000ULL)));
+        }
+        growth.add_row({std::to_string(size), format_double(stats.mean(), 0),
+                        format_double(stats.mean() / (static_cast<double>(size) *
+                                                      std::log(static_cast<double>(size))),
+                                      3)});
+    }
+    std::cout << growth.render("whole-population epidemic growth (expectation is (n-1)*H_{n-1} ~ n ln n)")
+              << "\n";
+
+    std::cout << "Reading guide: Lemma 2 is reproduced if no (or almost no) run\n"
+              << "exceeds the bound horizon — the bound is loose by design — and\n"
+              << "the whole-population completion tracks ~n ln n interactions (the\n"
+              << "exact expectation is (n-1)*H_{n-1}; [Ang+06]'s Theta(n log n)).\n";
+    return 0;
+}

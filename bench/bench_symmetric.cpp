@@ -1,0 +1,75 @@
+// E8 — Section 4 as a figure: the symmetric variant's coin substrate
+// (fairness + independence of J/K/F0/F1 flips) and the symmetric-vs-
+// asymmetric stabilisation-time comparison.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/estimators.hpp"
+#include "analysis/experiment.hpp"
+#include "analysis/report.hpp"
+#include "core/table.hpp"
+
+namespace {
+using namespace ppsim;
+}
+
+int main() {
+    const unsigned scale = repro_scale();
+
+    std::cout << "== E8: Section 4 — symmetric transitions and fair coins ==\n\n";
+
+    // --- coin fairness ------------------------------------------------------
+    TextTable coins;
+    coins.add_column("n");
+    coins.add_column("flips observed");
+    coins.add_column("P(head)");
+    coins.add_column("95% CI");
+    coins.add_column("lag-1 corr");
+    coins.add_column("#F0 = #F1 always");
+    for (const std::size_t n : std::vector<std::size_t>{256, 1024, 4096}) {
+        const auto steps = static_cast<StepCount>(
+            800.0 * static_cast<double>(n) * std::log2(static_cast<double>(n)));
+        const CoinFairnessReport report =
+            measure_symmetric_coins(n, steps * scale, 0xC0FF + n);
+        coins.add_row({
+            std::to_string(n),
+            std::to_string(report.flips),
+            format_double(report.head_fraction, 4),
+            "[" + format_double(report.head_ci.lower, 4) + ", " +
+                format_double(report.head_ci.upper, 4) + "]",
+            format_double(report.lag1_correlation, 4),
+            report.f0_f1_always_equal ? "yes" : "NO",
+        });
+    }
+    std::cout << coins.render("J/K/F0/F1 substrate: leader coin observations") << "\n";
+
+    // --- stabilisation-time comparison ---------------------------------------
+    const std::size_t reps = 60 * scale;
+    std::vector<SweepResult> sweeps;
+    for (const char* name : {"pll", "pll_symmetric"}) {
+        SweepConfig cfg;
+        cfg.protocol = name;
+        cfg.sizes = {64, 256, 1024, 4096};
+        cfg.repetitions = reps;
+        cfg.seed = 0x5E11;
+        cfg.budget = [](std::size_t n) { return StepBudget::n_log_n(n, 3000.0); };
+        sweeps.push_back(run_sweep(cfg));
+    }
+    std::cout << render_comparison_table(sweeps,
+                                         "asymmetric vs symmetric stabilisation time "
+                                         "(mean parallel time, " +
+                                             std::to_string(reps) + " runs)")
+              << "\n";
+
+    const LinearFit asym = sweeps[0].fit_vs_log_n();
+    const LinearFit sym = sweeps[1].fit_vs_log_n();
+    std::cout << "log-fit slopes: pll = " << format_double(asym.slope, 2)
+              << ", pll_symmetric = " << format_double(sym.slope, 2) << "\n\n"
+              << "Reading guide: Section 4 is reproduced if (a) the coin substrate\n"
+              << "is exactly fair (CI straddles 0.5) with negligible lag-1\n"
+              << "correlation and the #F0 = #F1 invariant never breaks, and (b) the\n"
+              << "symmetric variant stays within a constant factor of PLL — the\n"
+              << "overhead is the wait for minted coins and the duel tie-break.\n";
+    return 0;
+}

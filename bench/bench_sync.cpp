@@ -1,0 +1,120 @@
+// E7 — Lemma 6 / the CountUp synchroniser: colour-change timing (P1) and
+// epoch completion, plus the leader-driven phase-clock substrate for
+// comparison with the design space PLL rejected.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/estimators.hpp"
+#include "analysis/report.hpp"
+#include "core/engine.hpp"
+#include "core/random.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "protocols/junta_clock.hpp"
+#include "protocols/phase_clock.hpp"
+
+namespace {
+using namespace ppsim;
+}
+
+int main() {
+    const unsigned scale = repro_scale();
+    const std::size_t reps = 20 * scale;
+
+    std::cout << "== E7: Lemma 6 — the CountUp synchroniser ==\n\n";
+
+    TextTable table;
+    table.add_column("n");
+    table.add_column("P1 horizon 21n*ln n");
+    table.add_column("first colour change (mean)");
+    table.add_column("P1 violations");
+    table.add_column("all in epoch 2 (mean par.)");
+    table.add_column("epoch 3");
+    table.add_column("epoch 4");
+
+    for (const std::size_t n : std::vector<std::size_t>{256, 1024, 4096}) {
+        const double horizon = 21.0 * static_cast<double>(n) *
+                               std::log(static_cast<double>(n));
+        RunningStats first_change;
+        RunningStats epoch2;
+        RunningStats epoch3;
+        RunningStats epoch4;
+        std::size_t violations = 0;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            const SyncObservation obs = observe_synchronizer(
+                n, derive_seed(0x57AC, rep + n), static_cast<StepCount>(horizon * 40));
+            first_change.add(static_cast<double>(obs.first_color_change));
+            if (static_cast<double>(obs.first_color_change) < horizon) ++violations;
+            const auto par = [n](StepCount s) {
+                return static_cast<double>(s) / static_cast<double>(n);
+            };
+            if (obs.all_in_epoch[0]) epoch2.add(par(*obs.all_in_epoch[0]));
+            if (obs.all_in_epoch[1]) epoch3.add(par(*obs.all_in_epoch[1]));
+            if (obs.all_in_epoch[2]) epoch4.add(par(*obs.all_in_epoch[2]));
+        }
+        table.add_row({
+            std::to_string(n),
+            format_double(horizon, 0),
+            format_double(first_change.mean(), 0),
+            std::to_string(violations) + "/" + std::to_string(reps),
+            epoch2.count() ? format_double(epoch2.mean()) : "n/a",
+            epoch3.count() ? format_double(epoch3.mean()) : "n/a",
+            epoch4.count() ? format_double(epoch4.mean()) : "n/a",
+        });
+    }
+    std::cout << table.render("CountUp colour/epoch pacing (epoch cols in parallel time; "
+                              "runs may stabilise before epoch 4 and stop early)")
+              << "\n";
+
+    // Phase-clock substrate: rounds per parallel time for context.
+    std::cout << "-- leader-driven phase clock substrate (AAE08 family) --\n";
+    TextTable clock_table;
+    clock_table.add_column("n");
+    clock_table.add_column("period");
+    clock_table.add_column("driver rounds in 200 par. time");
+    for (const std::size_t n : std::vector<std::size_t>{256, 1024, 4096}) {
+        Engine<LeaderPhaseClock> engine(LeaderPhaseClock::for_population(n), n, 0xC10C);
+        engine.population()[0] = engine.protocol().driver_state();
+        engine.recount_leaders();
+        engine.run_for(200 * static_cast<StepCount>(n));
+        clock_table.add_row({std::to_string(n),
+                             std::to_string(engine.protocol().period()),
+                             std::to_string(engine.population()[0].rounds)});
+    }
+    std::cout << clock_table.render() << "\n";
+
+    // Junta-driven clock: the *leaderless* alternative of the GS18/GSU18
+    // family — the design point PLL positions itself against.
+    std::cout << "-- junta-driven phase clock substrate (GS18/GSU18 family) --\n";
+    TextTable junta_table;
+    junta_table.add_column("n");
+    junta_table.add_column("threshold");
+    junta_table.add_column("junta size");
+    junta_table.add_column("E[junta] = n/2^theta");
+    junta_table.add_column("max rounds in 200 par. time");
+    for (const std::size_t n : std::vector<std::size_t>{256, 1024, 4096}) {
+        Engine<JuntaPhaseClock> engine(JuntaPhaseClock::for_population(n), n, 0x14A7A);
+        engine.run_for(200 * static_cast<StepCount>(n));
+        std::size_t junta = 0;
+        std::uint16_t rounds = 0;
+        for (const JuntaClockState& s : engine.population().states()) {
+            junta += s.junta ? 1 : 0;
+            rounds = std::max(rounds, s.rounds);
+        }
+        const double expected = static_cast<double>(n) /
+                                std::exp2(engine.protocol().threshold());
+        junta_table.add_row({std::to_string(n),
+                             std::to_string(engine.protocol().threshold()),
+                             std::to_string(junta), format_double(expected, 1),
+                             std::to_string(rounds)});
+    }
+    std::cout << junta_table.render() << "\n";
+
+    std::cout << "Reading guide: P1 of Lemma 6 is reproduced if (almost) no run\n"
+              << "changes colour before the 21n*ln n horizon; epochs must complete\n"
+              << "in Theta(log n) parallel time each (~cmax/2 = 20.5m). The phase\n"
+              << "clock shows the alternative synchroniser family: ~constant-space,\n"
+              << "but requiring an elected driver — which is what PLL is electing.\n";
+    return 0;
+}

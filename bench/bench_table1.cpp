@@ -1,0 +1,132 @@
+// E1 — Reproduction of Table 1 (Sudo et al., PODC 2019): leader-election
+// protocols compared by states per agent and expected stabilisation time.
+//
+// For every runnable protocol the harness measures (a) the empirical
+// reachable-state count per agent at a reference population size and (b) the
+// mean stabilisation time (in parallel time, over seeded repetitions) across
+// a population sweep, then prints the paper's table with measured columns
+// appended. Protocols whose full reproduction is out of scope (see
+// DESIGN.md) are printed as unmeasured rows with their published asymptotics.
+//
+// Scale: defaults finish in ~1 minute; REPRO_SCALE=full (or a number ≥ 2)
+// enlarges the sweep and repetition counts.
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/report.hpp"
+#include "analysis/statespace.hpp"
+#include "core/table.hpp"
+#include "protocols/registry.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+struct MeasuredRow {
+    ProtocolInfo info;
+    std::size_t states_measured = 0;
+    std::size_t states_reference_n = 0;
+    SweepResult sweep;
+};
+
+}  // namespace
+
+int main() {
+    const unsigned scale = repro_scale();
+    const std::size_t reps = 30 * scale;
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+
+    std::cout << "== E1: Table 1 — states and expected stabilisation time ==\n"
+              << "(stabilisation time in parallel time units; mean over " << reps
+              << " seeded runs per size)\n\n";
+
+    // Per-protocol sweep ranges: the O(n)-time baselines cannot afford the
+    // sizes the polylog protocols use.
+    const std::vector<std::size_t> small_sizes{64, 128, 256, 512};
+    std::vector<std::size_t> big_sizes{64, 256, 1024, 4096};
+    if (scale > 1) big_sizes.push_back(16384);
+    const std::size_t reference_n = 1024;
+
+    std::vector<MeasuredRow> rows;
+    for (const std::string& name : registry.names()) {
+        MeasuredRow row;
+        row.info = registry.info(name);
+
+        SweepConfig config;
+        config.protocol = name;
+        config.repetitions = reps;
+        config.seed = 0x7AB1E1;
+        const bool linear_time = name == "angluin06" || name == "lottery";
+        config.sizes = linear_time ? small_sizes : big_sizes;
+        config.budget = [linear_time](std::size_t n) {
+            return linear_time ? StepBudget::n_squared(n, 80.0)
+                               : StepBudget::n_log_n(n, 2000.0);
+        };
+        row.sweep = run_sweep(config);
+
+        row.states_reference_n = reference_n;
+        row.states_measured =
+            count_reachable_states(name, reference_n, 3, 0x57A7E).distinct_states;
+        rows.push_back(std::move(row));
+    }
+
+    TextTable table;
+    table.add_column("protocol", Align::left);
+    table.add_column("citation", Align::left);
+    table.add_column("states (theory)", Align::left);
+    table.add_column("time (theory)", Align::left);
+    table.add_column("states @n=1024");
+    table.add_column("time @n=64");
+    table.add_column("time @largest n");
+    table.add_column("fit");
+
+    for (const ProtocolInfo& info : unimplemented_table1_rows()) {
+        table.add_row({info.name, info.citation, info.theory_states, info.theory_time,
+                       "(not re-measured)", "-", "-", "-"});
+    }
+    table.add_separator();
+
+    for (const MeasuredRow& row : rows) {
+        const SweepPoint& first = row.sweep.points.front();
+        const SweepPoint& last = row.sweep.points.back();
+        std::string fit;
+        if (row.info.name == "angluin06" || row.info.name == "lottery") {
+            const LinearFit power = row.sweep.fit_power_law();
+            fit = "~n^" + format_double(power.slope, 2);
+        } else {
+            const LinearFit log_fit = row.sweep.fit_vs_log_n();
+            fit = format_double(log_fit.slope, 2) + "*log2(n)+" +
+                  format_double(log_fit.intercept, 1);
+        }
+        table.add_row({
+            row.info.name,
+            row.info.citation,
+            row.info.theory_states,
+            row.info.theory_time,
+            std::to_string(row.states_measured),
+            first.parallel_time.count() > 0 ? format_double(first.parallel_time.mean())
+                                            : "n/a",
+            last.parallel_time.count() > 0
+                ? format_double(last.parallel_time.mean()) + " (n=" +
+                      std::to_string(last.n) + ")"
+                : "n/a",
+            fit,
+        });
+    }
+    std::cout << table.render("Table 1 (paper rows + measured reproduction)") << "\n";
+
+    for (const MeasuredRow& row : rows) {
+        std::cout << render_sweep_table(row.sweep, "-- " + row.info.name + " sweep --")
+                  << "\n";
+    }
+
+    std::cout << "Reading guide: the measured columns must reproduce the paper's\n"
+              << "*shape*: angluin06 and the tie-bound lottery grow polynomially\n"
+              << "(fit ~n^e, e near 1), while mst18_style, pll and pll_symmetric\n"
+              << "stay flat-ish in n (logarithmic fits) — pll matching mst18_style's\n"
+              << "time regime with ~n-fold fewer states, which is the paper's claim.\n";
+    return 0;
+}

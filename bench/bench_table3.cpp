@@ -1,0 +1,134 @@
+// E3 — Reproduction of Table 3 / Lemma 3: PLL's per-agent state usage.
+//
+// Table 3 lists PLL's variables and their domains per group; Lemma 3
+// concludes O(log n) states per agent. This bench measures the *reachable*
+// state count empirically — distinct canonical states observed across
+// seeded executions — in total and split by the paper's five groups
+// (VX, VB, VA∩V1, VA∩(V2∪V3), VA∩V4), and checks logarithmic growth in n.
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "core/engine.hpp"
+#include "core/random.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "protocols/pll.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+const char* group_of(const PllState& s) {
+    if (s.status == PllStatus::x) return "VX";
+    if (s.status == PllStatus::b) return "VB";
+    if (s.epoch == 1) return "VA&V1";
+    if (s.epoch == 4) return "VA&V4";
+    return "VA&V23";
+}
+
+struct GroupCounts {
+    std::map<std::string, std::unordered_set<std::uint64_t>> by_group;
+    std::unordered_set<std::uint64_t> total;
+
+    void observe(const Pll& pll, const PllState& s) {
+        const std::uint64_t key = pll.state_key(s);
+        by_group[group_of(s)].insert(key);
+        total.insert(key);
+    }
+};
+
+GroupCounts explore(std::size_t n, std::size_t runs, StepCount steps,
+                    std::uint64_t seed) {
+    GroupCounts counts;
+    for (std::size_t run = 0; run < runs; ++run) {
+        Engine<Pll> engine(Pll::for_population(n), n, derive_seed(seed, run));
+        counts.observe(engine.protocol(), engine.population()[0]);
+        for (StepCount step = 0; step < steps; ++step) {
+            const Interaction ia = engine.step();
+            counts.observe(engine.protocol(), engine.population()[ia.initiator]);
+            counts.observe(engine.protocol(), engine.population()[ia.responder]);
+        }
+    }
+    return counts;
+}
+
+}  // namespace
+
+int main() {
+    const unsigned scale = repro_scale();
+
+    std::cout << "== E3: Table 3 / Lemma 3 — PLL states per agent ==\n\n";
+
+    // The paper's Table 3, for reference.
+    TextTable domains;
+    domains.add_column("group", Align::left);
+    domains.add_column("variables", Align::left);
+    domains.add_column("domain sizes", Align::left);
+    domains.add_row({"all agents", "leader, tick, status, epoch, init, color",
+                     "2*2*3*4*4*3"});
+    domains.add_row({"VB", "count", "41m"});
+    domains.add_row({"VA&V1", "levelQ, done", "(5m+1)*2"});
+    domains.add_row({"VA&(V2|V3)", "rand, index", "2^phi*(phi+1)"});
+    domains.add_row({"VA&V4", "levelB", "5m+1"});
+    std::cout << domains.render("Table 3 (domains; phi = ceil(2/3*lg m))") << "\n";
+
+    std::vector<std::size_t> sizes{64, 256, 1024, 4096};
+    if (scale > 1) sizes.push_back(16384);
+
+    TextTable table;
+    table.add_column("n");
+    table.add_column("m");
+    table.add_column("reachable (total)");
+    table.add_column("VB");
+    table.add_column("VA&V1");
+    table.add_column("VA&V23");
+    table.add_column("VA&V4");
+    table.add_column("domain bound");
+    table.add_column("reachable/m");
+
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const std::size_t n : sizes) {
+        const Pll pll = Pll::for_population(n);
+        const unsigned m = pll.config().m;
+        const double lg = std::log2(static_cast<double>(n));
+        const auto steps = static_cast<StepCount>(80.0 * static_cast<double>(n) * lg);
+        const GroupCounts counts = explore(n, 3 * scale, steps, 0x7AB1E3);
+        const auto group = [&](const char* g) {
+            const auto it = counts.by_group.find(g);
+            return it == counts.by_group.end() ? std::size_t{0} : it->second.size();
+        };
+        table.add_row({
+            std::to_string(n),
+            std::to_string(m),
+            std::to_string(counts.total.size()),
+            std::to_string(group("VB")),
+            std::to_string(group("VA&V1")),
+            std::to_string(group("VA&V23")),
+            std::to_string(group("VA&V4")),
+            std::to_string(pll.state_bound()),
+            format_double(static_cast<double>(counts.total.size()) / m, 1),
+        });
+        xs.push_back(static_cast<double>(n));
+        ys.push_back(static_cast<double>(counts.total.size()));
+    }
+    std::cout << table.render("Reachable states (empirical, over seeded runs)") << "\n";
+
+    const LinearFit log_fit = fit_log2(xs, ys);
+    const LinearFit power = fit_power_law(xs, ys);
+    std::cout << "growth of reachable states:\n"
+              << "  vs log2(n): " << format_double(log_fit.slope, 1) << "*log2(n) + "
+              << format_double(log_fit.intercept, 1)
+              << "  (r^2 = " << format_double(log_fit.r_squared, 4) << ")\n"
+              << "  power law:  n^" << format_double(power.slope, 3)
+              << "  (r^2 = " << format_double(power.r_squared, 4) << ")\n"
+              << "Lemma 3 is reproduced if the reachable count tracks the\n"
+              << "logarithmic fit (exponent well below 0.5) and the per-m ratio\n"
+              << "stays roughly constant — the timer group VB (41m values) and\n"
+              << "the level groups (5m+1) dominate, all linear in m = O(log n).\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+// E11 — leader-count trajectory: the decay "figure". Tracks how the leader
+// census falls from n to 1 across many seeded runs — QuickElimination's
+// geometric cull, the Tournament plateaus, and the epoch in which runs
+// actually stabilise (the measured weight of each module in Theorem 1's
+// expectation).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "core/engine.hpp"
+#include "core/plot.hpp"
+#include "core/random.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "protocols/pll.hpp"
+
+namespace {
+using namespace ppsim;
+}
+
+int main() {
+    const unsigned scale = repro_scale();
+    const std::size_t n = 1024;
+    const std::size_t runs = 100 * scale;
+
+    std::cout << "== E11: leader-count trajectory of PLL (n = " << n << ", " << runs
+              << " runs) ==\n\n";
+
+    // Checkpoints in parallel time, log-spaced.
+    std::vector<double> checkpoints{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+    std::vector<SampleSet> counts(checkpoints.size());
+    std::vector<std::size_t> stabilized_in_epoch(5, 0);
+    RunningStats stabilization_time;
+
+    for (std::size_t rep = 0; rep < runs; ++rep) {
+        Engine<Pll> engine(Pll::for_population(n), n, derive_seed(0x7247, rep));
+        std::size_t next_checkpoint = 0;
+        bool recorded_epoch = false;
+        const auto budget = static_cast<StepCount>(
+            4000.0 * static_cast<double>(n) * std::log2(static_cast<double>(n)));
+        while (engine.steps() < budget) {
+            engine.step();
+            while (next_checkpoint < checkpoints.size() &&
+                   engine.parallel_time() >= checkpoints[next_checkpoint]) {
+                counts[next_checkpoint].add(static_cast<double>(engine.leader_count()));
+                ++next_checkpoint;
+            }
+            if (!recorded_epoch && engine.leader_count() == 1) {
+                // Attribute the stabilisation to the epoch of the survivor.
+                unsigned epoch = 1;
+                for (const PllState& s : engine.population().states()) {
+                    if (s.leader) epoch = Pll::epoch_of(s);
+                }
+                ++stabilized_in_epoch[epoch];
+                stabilization_time.add(engine.parallel_time());
+                recorded_epoch = true;
+            }
+            if (recorded_epoch && next_checkpoint >= checkpoints.size()) break;
+        }
+        // Fill remaining checkpoints with the final (stable) count.
+        while (next_checkpoint < checkpoints.size()) {
+            counts[next_checkpoint].add(static_cast<double>(engine.leader_count()));
+            ++next_checkpoint;
+        }
+    }
+
+    TextTable table;
+    table.add_column("parallel time");
+    table.add_column("median leaders");
+    table.add_column("p25");
+    table.add_column("p75");
+    table.add_column("max");
+    PlotSeries median_series{"median log2(leaders)", '*', {}, {}};
+    for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+        table.add_row({format_double(checkpoints[i], 1),
+                       format_double(counts[i].median(), 1),
+                       format_double(counts[i].percentile(25.0), 1),
+                       format_double(counts[i].percentile(75.0), 1),
+                       format_double(counts[i].max(), 0)});
+        median_series.x.push_back(checkpoints[i]);
+        median_series.y.push_back(std::log2(std::max(1.0, counts[i].median())));
+    }
+    std::cout << table.render("leader census over time (" + std::to_string(runs) +
+                              " runs)")
+              << "\n";
+
+    AsciiPlot plot;
+    plot.set_title("median leader count (log2) vs parallel time");
+    plot.set_x_label("parallel time");
+    plot.set_y_label("log2(leaders)");
+    plot.set_log2_x(true);
+    plot.add_series(std::move(median_series));
+    std::cout << plot.render() << "\n";
+
+    TextTable epochs;
+    epochs.add_column("stabilised during", Align::left);
+    epochs.add_column("runs");
+    epochs.add_column("fraction");
+    const char* names[5] = {"", "epoch 1 (QuickElimination)", "epoch 2 (Tournament I)",
+                            "epoch 3 (Tournament II)", "epoch 4 (BackUp)"};
+    for (unsigned e = 1; e <= 4; ++e) {
+        epochs.add_row({names[e], std::to_string(stabilized_in_epoch[e]),
+                        format_double(static_cast<double>(stabilized_in_epoch[e]) /
+                                          static_cast<double>(runs),
+                                      3)});
+    }
+    std::cout << epochs.render("module attribution") << "\n";
+    std::cout << "mean stabilisation time: "
+              << format_with_ci(stabilization_time.mean(),
+                                stabilization_time.ci_half_width())
+              << " parallel time units\n\n"
+              << "Reading guide: the census must collapse geometrically within the\n"
+              << "first few parallel time units (the lottery), then plateau at a\n"
+              << "handful of survivors until the first timer tick (~20.5m parallel\n"
+              << "time) lets Tournament finish the job; the attribution row for\n"
+              << "epoch 4 is Theorem 1's O(1/log n) slow-path weight.\n";
+    return 0;
+}

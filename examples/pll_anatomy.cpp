@@ -1,0 +1,68 @@
+// Anatomy of a PLL election: a timeline trace through the paper's three
+// modules — the figure the paper never drew. Watch QuickElimination's
+// lottery thin the candidate set, the CountUp synchroniser advance the
+// epochs, Tournament settle the survivors, and (rarely) BackUp finish the
+// stragglers.
+//
+//   ./build/examples/pll_anatomy [n] [seed]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "core/table.hpp"
+#include "protocols/pll.hpp"
+#include "protocols/pll_census.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ppsim;
+
+    const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+    Engine<Pll> engine(Pll::for_population(n), n, seed);
+    const PllConfig& cfg = engine.protocol().config();
+    std::cout << "PLL anatomy: n = " << n << ", m = " << cfg.m
+              << " (timer period cmax = " << cfg.cmax() << " own-interactions ≈ "
+              << cfg.cmax() / 2 << " parallel time per epoch)\n\n";
+
+    TextTable timeline;
+    timeline.add_column("parallel time");
+    timeline.add_column("snapshot", Align::left);
+
+    const auto budget = static_cast<StepCount>(
+        4000.0 * static_cast<double>(n) * std::log2(static_cast<double>(n)));
+    StepCount next_snapshot = 0;
+    unsigned last_min_epoch = 0;
+    std::size_t last_leaders = 0;
+    while (engine.steps() < budget) {
+        engine.step();
+        const bool due = engine.steps() >= next_snapshot;
+        const PllCensus census = take_census(engine.population().states());
+        // Snapshot on a coarse cadence plus at every epoch frontier change.
+        if (due || census.min_epoch != last_min_epoch ||
+            (census.leaders != last_leaders && census.leaders <= 5)) {
+            timeline.add_row({format_double(engine.parallel_time(), 1),
+                              render_census_line(census)});
+            next_snapshot = engine.steps() + 4 * static_cast<StepCount>(n);
+            last_min_epoch = census.min_epoch;
+            last_leaders = census.leaders;
+        }
+        if (engine.leader_count() == 1) break;
+    }
+    std::cout << timeline.render("timeline (snapshots on cadence and at events)")
+              << "\n";
+
+    if (engine.leader_count() != 1) {
+        std::cerr << "did not stabilise within the budget\n";
+        return 1;
+    }
+    const PllCensus final_census = take_census(engine.population().states());
+    std::cout << "stabilised at " << engine.parallel_time()
+              << " parallel time units with the unique leader in epoch "
+              << final_census.max_epoch << ".\n"
+              << "Most runs never need BackUp: QuickElimination leaves one leader\n"
+              << "with constant probability, and Tournament catches nearly all the\n"
+              << "rest — that composition is Theorem 1's O(log n) expectation.\n";
+    return 0;
+}

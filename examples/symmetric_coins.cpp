@@ -1,0 +1,75 @@
+// Section-4 demo: the symmetric fair-coin substrate in action.
+//
+// Chemical reaction networks cannot distinguish initiator from responder, so
+// the asymmetric coin of PLL ("am I the initiator?") is unavailable. The
+// paper's Section 4 builds totally fair, independent coins from follower
+// states J/K/F0/F1 instead. This example traces the substrate: the coin
+// census over time, the fairness of the flips leaders observe, and the
+// resulting election.
+//
+//   ./build/examples/symmetric_coins [n] [seed]
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/estimators.hpp"
+#include "core/engine.hpp"
+#include "core/table.hpp"
+#include "protocols/pll_symmetric.hpp"
+
+int main(int argc, char** argv) {
+    using namespace ppsim;
+
+    const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+
+    Engine<SymmetricPll> engine(SymmetricPll::for_population(n), n, seed);
+
+    // Trace the coin census as the substrate mints F0/F1 pairs out of J/K.
+    TextTable census;
+    census.add_column("parallel time");
+    census.add_column("J");
+    census.add_column("K");
+    census.add_column("F0");
+    census.add_column("F1");
+    census.add_column("leaders");
+    const auto snapshot = [&] {
+        std::array<std::size_t, 4> counts{};
+        for (const SymPllState& s : engine.population().states()) {
+            if (!s.leader) ++counts[static_cast<std::size_t>(s.coin)];
+        }
+        census.add_row({format_double(engine.parallel_time(), 1),
+                        std::to_string(counts[0]), std::to_string(counts[1]),
+                        std::to_string(counts[2]), std::to_string(counts[3]),
+                        std::to_string(engine.leader_count())});
+    };
+    snapshot();
+    for (int burst = 0; burst < 8; ++burst) {
+        engine.run_for(2 * static_cast<StepCount>(n));
+        snapshot();
+    }
+    std::cout << census.render("coin census (note: #F0 == #F1 in every row — the "
+                               "invariant that makes flips exactly fair)")
+              << "\n";
+
+    // Fairness measurement on a fresh run (flips observed by leaders).
+    const CoinFairnessReport report =
+        measure_symmetric_coins(n, 400 * static_cast<StepCount>(n), seed + 1);
+    std::cout << "coin observations by leaders: " << report.flips << " flips, "
+              << "P(head) = " << format_double(report.head_fraction, 4) << " (95% CI ["
+              << format_double(report.head_ci.lower, 4) << ", "
+              << format_double(report.head_ci.upper, 4) << "])\n"
+              << "lag-1 correlation: " << format_double(report.lag1_correlation, 4)
+              << "  |  #F0 = #F1 throughout: "
+              << (report.f0_f1_always_equal ? "yes" : "NO") << "\n\n";
+
+    // Finish the election symmetrically.
+    const RunResult result = engine.run_until_one_leader(
+        static_cast<StepCount>(4000.0 * static_cast<double>(n) *
+                               std::log2(static_cast<double>(n))));
+    std::cout << "symmetric election: "
+              << (result.converged ? "exactly one leader" : "not converged") << " at "
+              << result.stabilization_parallel_time(n) << " parallel time units\n";
+    return result.converged ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "experiment.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "../core/log.hpp"
+#include "../core/random.hpp"
+#include "../core/thread_pool.hpp"
+#include "../protocols/registry.hpp"
+
+namespace ppsim {
+
+StepCount StepBudget::n_log_n(std::size_t n, double factor) {
+    const double lg = std::max(1.0, std::log2(static_cast<double>(n)));
+    return static_cast<StepCount>(factor * static_cast<double>(n) * lg);
+}
+
+StepCount StepBudget::n_squared(std::size_t n, double factor) {
+    return static_cast<StepCount>(factor * static_cast<double>(n) * static_cast<double>(n));
+}
+
+LinearFit SweepResult::fit_vs_log_n() const {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const SweepPoint& p : points) {
+        if (p.parallel_time.count() == 0) continue;
+        xs.push_back(static_cast<double>(p.n));
+        ys.push_back(p.parallel_time.mean());
+    }
+    return fit_log2(xs, ys);
+}
+
+LinearFit SweepResult::fit_power_law() const {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const SweepPoint& p : points) {
+        if (p.parallel_time.count() == 0) continue;
+        xs.push_back(static_cast<double>(p.n));
+        ys.push_back(p.parallel_time.mean());
+    }
+    return ppsim::fit_power_law(xs, ys);
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    require(registry.contains(config.protocol), "unknown protocol: " + config.protocol);
+    require(!config.sizes.empty(), "sweep needs at least one population size");
+    require(config.repetitions >= 1, "sweep needs at least one repetition");
+
+    const auto budget = config.budget
+        ? config.budget
+        : [](std::size_t n) { return StepBudget::n_log_n(n); };
+
+    SweepResult result;
+    result.protocol = config.protocol;
+    for (const std::size_t n : config.sizes) {
+        SweepPoint point;
+        point.n = n;
+        point.repetitions = config.repetitions;
+        const StepCount max_steps = budget(n);
+
+        std::mutex merge_mutex;
+        ThreadPool::parallel_for(
+            config.repetitions, config.threads, [&](std::size_t rep) {
+                const std::uint64_t seed =
+                    derive_seed(config.seed, (static_cast<std::uint64_t>(n) << 20U) + rep);
+                const RunResult run =
+                    config.verify_steps > 0
+                        ? registry.run_election_verified(config.protocol, n, seed, max_steps,
+                                                         config.verify_steps)
+                        : registry.run_election(config.protocol, n, seed, max_steps);
+                const std::lock_guard lock(merge_mutex);
+                if (run.converged && run.stabilization_step) {
+                    const double t = run.stabilization_parallel_time(n);
+                    point.parallel_time.add(t);
+                    point.samples.add(t);
+                } else {
+                    ++point.failures;
+                }
+            });
+
+        log_debug("sweep " + config.protocol + " n=" + std::to_string(n) + " mean=" +
+                  std::to_string(point.parallel_time.mean()) + " failures=" +
+                  std::to_string(point.failures));
+        result.points.push_back(std::move(point));
+    }
+    return result;
+}
+
+std::vector<RunResult> run_repeated(const std::string& protocol, std::size_t n,
+                                    std::size_t repetitions, std::uint64_t seed,
+                                    StepCount max_steps, std::size_t threads) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    require(registry.contains(protocol), "unknown protocol: " + protocol);
+    std::vector<RunResult> results(repetitions);
+    ThreadPool::parallel_for(repetitions, threads, [&](std::size_t rep) {
+        const std::uint64_t child = derive_seed(seed, rep);
+        results[rep] = registry.run_election(protocol, n, child, max_steps);
+    });
+    return results;
+}
+
+}  // namespace ppsim

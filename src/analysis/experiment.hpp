@@ -1,0 +1,72 @@
+/// \file experiment.hpp
+/// \brief The experiment driver: repeated, seeded, parallel election runs
+/// across population sweeps, with aggregation ready for table rendering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "../core/common.hpp"
+#include "../core/engine.hpp"
+#include "../core/stats.hpp"
+
+namespace ppsim {
+
+/// Step budgets for bounded runs, as multiples of the protocol's expected
+/// scaling. Budgets are generous (a failed run is a reported failure, not a
+/// crash), but must stay finite to keep sweeps bounded.
+struct StepBudget {
+    /// ~factor · n·log2(n) steps — for polylogarithmic-time protocols.
+    [[nodiscard]] static StepCount n_log_n(std::size_t n, double factor = 200.0);
+    /// ~factor · n² steps — for linear-parallel-time protocols.
+    [[nodiscard]] static StepCount n_squared(std::size_t n, double factor = 60.0);
+};
+
+/// Configuration of a sweep: one protocol, several population sizes, many
+/// seeded repetitions per size.
+struct SweepConfig {
+    std::string protocol;           ///< registry name
+    std::vector<std::size_t> sizes; ///< population sizes n
+    std::size_t repetitions = 30;   ///< runs per size
+    std::uint64_t seed = 0xACE1ULL; ///< root seed; rep i uses derive_seed(seed, i)
+    std::size_t threads = 0;        ///< 0 = hardware concurrency
+    /// Step budget per n; defaults to StepBudget::n_log_n.
+    std::function<StepCount(std::size_t)> budget;
+    /// Extra steps of output-stability verification after convergence
+    /// (0 = skip verification).
+    StepCount verify_steps = 0;
+};
+
+/// Aggregated results for one population size.
+struct SweepPoint {
+    std::size_t n = 0;
+    std::size_t repetitions = 0;
+    std::size_t failures = 0;       ///< runs that missed the budget or failed verification
+    RunningStats parallel_time;     ///< stabilisation time (parallel) over converged runs
+    SampleSet samples;              ///< raw stabilisation times for percentiles
+};
+
+/// Results of a full sweep.
+struct SweepResult {
+    std::string protocol;
+    std::vector<SweepPoint> points;
+
+    /// Least-squares fit of mean stabilisation time against log2(n).
+    [[nodiscard]] LinearFit fit_vs_log_n() const;
+    /// Least-squares power-law fit of mean stabilisation time against n.
+    [[nodiscard]] LinearFit fit_power_law() const;
+};
+
+/// Runs the sweep described by `config` (parallel across repetitions).
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& config);
+
+/// Runs `repetitions` elections of one protocol at a single size and
+/// returns the raw per-run results (building block for custom experiments).
+[[nodiscard]] std::vector<RunResult> run_repeated(const std::string& protocol, std::size_t n,
+                                                  std::size_t repetitions, std::uint64_t seed,
+                                                  StepCount max_steps,
+                                                  std::size_t threads = 0);
+
+}  // namespace ppsim

@@ -1,0 +1,186 @@
+#include "model_checker.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ppsim {
+
+namespace {
+
+/// A configuration: the sorted multiset of per-agent state keys.
+using Config = std::vector<std::uint64_t>;
+
+struct ConfigHash {
+    std::size_t operator()(const Config& c) const noexcept {
+        // FNV-1a over the key words; configurations are canonical (sorted).
+        std::uint64_t h = 1469598103934665603ULL;
+        for (const std::uint64_t k : c) {
+            h ^= k;
+            h *= 1099511628211ULL;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/// Side table of discovered agent states: key → raw bytes + output role.
+class StateTable {
+public:
+    explicit StateTable(const AnyProtocol& protocol) : protocol_(protocol) {}
+
+    std::uint64_t intern(const std::byte* bytes) {
+        const std::uint64_t key = protocol_.state_key(bytes);
+        auto [it, inserted] = states_.try_emplace(key);
+        if (inserted) {
+            it->second.bytes.assign(bytes, bytes + protocol_.state_size());
+            it->second.is_leader = protocol_.output(bytes) == Role::leader;
+        }
+        return key;
+    }
+
+    [[nodiscard]] const std::byte* bytes(std::uint64_t key) const {
+        return states_.at(key).bytes.data();
+    }
+
+    [[nodiscard]] bool is_leader(std::uint64_t key) const {
+        return states_.at(key).is_leader;
+    }
+
+private:
+    struct Entry {
+        std::vector<std::byte> bytes;
+        bool is_leader = false;
+    };
+    const AnyProtocol& protocol_;
+    std::unordered_map<std::uint64_t, Entry> states_;
+};
+
+std::size_t leader_count(const Config& config, const StateTable& table) {
+    std::size_t leaders = 0;
+    for (const std::uint64_t key : config) leaders += table.is_leader(key) ? 1 : 0;
+    return leaders;
+}
+
+}  // namespace
+
+ModelCheckReport model_check(const AnyProtocol& protocol, std::size_t n,
+                             std::size_t max_configurations) {
+    require(n >= 2, "model checking needs at least two agents");
+    require(max_configurations >= 1, "configuration budget must be positive");
+
+    StateTable table(protocol);
+    const std::size_t stride = protocol.state_size();
+
+    // Initial configuration: n copies of the initial state.
+    std::vector<std::byte> scratch(stride * 2);
+    protocol.write_initial_state(scratch.data());
+    const std::uint64_t init_key = table.intern(scratch.data());
+    Config initial(n, init_key);
+
+    std::unordered_map<Config, std::uint32_t, ConfigHash> index_of;
+    std::vector<Config> configs;
+    std::vector<std::vector<std::uint32_t>> reverse_edges;
+    std::deque<std::uint32_t> frontier;
+
+    const auto intern_config = [&](Config c) -> std::int64_t {
+        const auto it = index_of.find(c);
+        if (it != index_of.end()) return it->second;
+        if (configs.size() >= max_configurations) return -1;
+        const auto id = static_cast<std::uint32_t>(configs.size());
+        index_of.emplace(c, id);
+        configs.push_back(std::move(c));
+        reverse_edges.emplace_back();
+        frontier.push_back(id);
+        return id;
+    };
+
+    ModelCheckReport report;
+    (void)intern_config(initial);
+    bool truncated = false;
+
+    while (!frontier.empty()) {
+        const std::uint32_t id = frontier.front();
+        frontier.pop_front();
+        const Config config = configs[id];  // copy: configs may reallocate below
+        const std::size_t leaders_here = leader_count(config, table);
+        if (leaders_here == 0) report.safety_holds = false;
+
+        // Enumerate ordered pairs of *state values* present in the multiset;
+        // a same-state pair needs multiplicity ≥ 2.
+        std::vector<std::pair<std::uint64_t, std::size_t>> census;
+        for (const std::uint64_t key : config) {
+            if (!census.empty() && census.back().first == key) {
+                ++census.back().second;
+            } else {
+                census.emplace_back(key, 1);
+            }
+        }
+        std::unordered_set<Config, ConfigHash> successors;
+        for (const auto& [ka, count_a] : census) {
+            for (const auto& [kb, count_b] : census) {
+                if (ka == kb && count_a < 2) continue;
+                std::memcpy(scratch.data(), table.bytes(ka), stride);
+                std::memcpy(scratch.data() + stride, table.bytes(kb), stride);
+                protocol.interact(scratch.data(), scratch.data() + stride);
+                const std::uint64_t ka2 = table.intern(scratch.data());
+                const std::uint64_t kb2 = table.intern(scratch.data() + stride);
+
+                Config next = config;
+                // Remove one occurrence of ka and one of kb, insert ka2, kb2.
+                next.erase(std::find(next.begin(), next.end(), ka));
+                next.erase(std::find(next.begin(), next.end(), kb));
+                next.push_back(ka2);
+                next.push_back(kb2);
+                std::sort(next.begin(), next.end());
+                successors.insert(std::move(next));
+            }
+        }
+
+        for (const Config& next : successors) {
+            ++report.transitions;
+            if (leaders_here == 1 && leader_count(next, table) != 1) {
+                report.single_leader_absorbing = false;
+            }
+            const std::int64_t next_id = intern_config(next);
+            if (next_id < 0) {
+                truncated = true;
+                continue;
+            }
+            reverse_edges[static_cast<std::size_t>(next_id)].push_back(id);
+        }
+    }
+
+    report.configurations = configs.size();
+    report.exhausted = !truncated;
+
+    // Convergence certificate: backward reachability from single-leader
+    // configurations must cover everything (only sound when exhausted).
+    if (report.exhausted) {
+        std::vector<bool> can_converge(configs.size(), false);
+        std::deque<std::uint32_t> work;
+        for (std::uint32_t id = 0; id < configs.size(); ++id) {
+            if (leader_count(configs[id], table) == 1) {
+                can_converge[id] = true;
+                work.push_back(id);
+            }
+        }
+        while (!work.empty()) {
+            const std::uint32_t id = work.front();
+            work.pop_front();
+            for (const std::uint32_t pred : reverse_edges[id]) {
+                if (!can_converge[pred]) {
+                    can_converge[pred] = true;
+                    work.push_back(pred);
+                }
+            }
+        }
+        report.convergence_certified =
+            std::all_of(can_converge.begin(), can_converge.end(),
+                        [](bool b) { return b; });
+    }
+    return report;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,51 @@
+/// \file model_checker.hpp
+/// \brief Exhaustive configuration-space exploration for tiny populations.
+///
+/// Agents in the PP model are anonymous and the interaction graph is
+/// complete, so a configuration is fully described by the *multiset* of
+/// agent states. For small n and small per-agent state spaces the whole
+/// reachable configuration graph fits in memory, and we can verify — by
+/// exhaustive search rather than sampling — the two properties every
+/// leader-election protocol in this library certifies:
+///
+///  * **Safety**: every reachable configuration has at least one leader.
+///  * **Convergence-with-probability-1** (the probability-1 core of the
+///    paper's correctness argument): from every reachable configuration a
+///    single-leader configuration is reachable, and single-leader
+///    configurations only step to single-leader configurations (the
+///    absorbing certificate). Under the uniformly random scheduler, these
+///    two facts imply stabilisation with probability 1.
+///
+/// Exploration is budgeted: protocols with large per-agent state spaces
+/// (PLL's timers) exceed any budget, in which case the checker reports
+/// `exhausted = false` and the verdicts hold for the explored subgraph —
+/// still a strong, deterministic complement to the sampled property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "../core/common.hpp"
+#include "../core/protocol.hpp"
+
+namespace ppsim {
+
+/// Result of a model-checking run.
+struct ModelCheckReport {
+    std::size_t configurations = 0;     ///< distinct configurations visited
+    std::size_t transitions = 0;        ///< edges traversed
+    bool exhausted = false;             ///< full reachable set explored?
+    bool safety_holds = true;           ///< ≥ 1 leader everywhere visited
+    /// Single-leader configurations never step to 0 or ≥ 2 leaders.
+    bool single_leader_absorbing = true;
+    /// Every visited configuration can reach a single-leader configuration
+    /// (only meaningful when `exhausted`; false otherwise).
+    bool convergence_certified = false;
+};
+
+/// Explores the configuration graph of `protocol` on `n` agents, up to
+/// `max_configurations` distinct configurations.
+[[nodiscard]] ModelCheckReport model_check(const AnyProtocol& protocol, std::size_t n,
+                                           std::size_t max_configurations);
+
+}  // namespace ppsim

@@ -1,0 +1,31 @@
+/// \file report.hpp
+/// \brief Rendering of experiment results as paper-style tables and
+/// machine-readable JSON artefacts (shared by the bench binaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "../core/json.hpp"
+#include "../core/table.hpp"
+#include "experiment.hpp"
+
+namespace ppsim {
+
+/// Renders one sweep as a table: n | mean ± 95% CI | median | p95 | failures.
+[[nodiscard]] std::string render_sweep_table(const SweepResult& sweep,
+                                             const std::string& title);
+
+/// Renders several sweeps side by side (rows = n, columns = protocols),
+/// cells showing mean stabilisation parallel time.
+[[nodiscard]] std::string render_comparison_table(const std::vector<SweepResult>& sweeps,
+                                                  const std::string& title);
+
+/// Serialises a sweep to JSON (per-point stats + scaling fits).
+[[nodiscard]] JsonValue sweep_to_json(const SweepResult& sweep);
+
+/// Resolves the scale factor for benches: 1 by default, larger when the
+/// REPRO_SCALE environment variable is set ("full" = 4, or a number).
+[[nodiscard]] unsigned repro_scale();
+
+}  // namespace ppsim

@@ -1,0 +1,56 @@
+#include "statespace.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "../core/random.hpp"
+#include "../core/scheduler.hpp"
+#include "../protocols/registry.hpp"
+
+namespace ppsim {
+
+StateSpaceReport count_reachable_states(const AnyProtocol& protocol, std::size_t n,
+                                        std::size_t runs, StepCount steps_per_run,
+                                        std::uint64_t seed) {
+    require(n >= 2, "state-space exploration needs at least two agents");
+    require(runs >= 1, "state-space exploration needs at least one run");
+
+    const std::size_t stride = protocol.state_size();
+    std::unordered_set<std::uint64_t> seen;
+    StateSpaceReport report;
+    report.declared_bound = protocol.state_bound();
+
+    std::vector<std::byte> states(n * stride);
+    for (std::size_t run = 0; run < runs; ++run) {
+        // Fresh initial configuration.
+        for (std::size_t i = 0; i < n; ++i) {
+            protocol.write_initial_state(states.data() + i * stride);
+        }
+        seen.insert(protocol.state_key(states.data()));
+
+        UniformScheduler scheduler(n, derive_seed(seed, run));
+        for (StepCount step = 0; step < steps_per_run; ++step) {
+            const Interaction ia = scheduler.next();
+            std::byte* a = states.data() + static_cast<std::size_t>(ia.initiator) * stride;
+            std::byte* b = states.data() + static_cast<std::size_t>(ia.responder) * stride;
+            protocol.interact(a, b);
+            seen.insert(protocol.state_key(a));
+            seen.insert(protocol.state_key(b));
+            ++report.steps_explored;
+        }
+    }
+    report.distinct_states = seen.size();
+    report.runs = runs;
+    return report;
+}
+
+StateSpaceReport count_reachable_states(const std::string& protocol_name, std::size_t n,
+                                        std::size_t runs, std::uint64_t seed) {
+    const auto protocol = ProtocolRegistry::instance().make(protocol_name, n);
+    const double lg = std::max(1.0, std::log2(static_cast<double>(n)));
+    const auto steps = static_cast<StepCount>(60.0 * static_cast<double>(n) * lg);
+    return count_reachable_states(*protocol, n, runs, steps, seed);
+}
+
+}  // namespace ppsim

@@ -1,0 +1,44 @@
+/// \file statespace.hpp
+/// \brief Empirical reachable-state-space counter — the measurement behind
+/// the Table-3 / Lemma-3 reproduction ("PLL uses O(log n) states per agent").
+///
+/// We count *distinct agent states observed* across seeded executions: the
+/// initial state plus the state of each touched agent after every
+/// interaction. This lower-bounds the reachable set and, with enough seeded
+/// runs, converges to the states a real execution visits — the quantity the
+/// space complexity of a protocol talks about.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "../core/common.hpp"
+#include "../core/protocol.hpp"
+
+namespace ppsim {
+
+/// Result of a state-space exploration.
+struct StateSpaceReport {
+    std::size_t distinct_states = 0;    ///< distinct state_key values observed
+    std::size_t declared_bound = 0;     ///< protocol's own domain-product bound (0 = none)
+    StepCount steps_explored = 0;       ///< total interactions simulated
+    std::size_t runs = 0;               ///< seeded executions explored
+};
+
+/// Counts distinct observed states of `protocol` on populations of size n,
+/// across `runs` seeded executions of `steps_per_run` interactions each.
+[[nodiscard]] StateSpaceReport count_reachable_states(const AnyProtocol& protocol,
+                                                      std::size_t n, std::size_t runs,
+                                                      StepCount steps_per_run,
+                                                      std::uint64_t seed);
+
+/// Convenience: looks the protocol up in the registry, instantiates it for
+/// n, and explores with a Θ(n log n)·runs budget.
+[[nodiscard]] StateSpaceReport count_reachable_states(const std::string& protocol_name,
+                                                      std::size_t n, std::size_t runs,
+                                                      std::uint64_t seed);
+
+}  // namespace ppsim

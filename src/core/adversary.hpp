@@ -1,0 +1,112 @@
+/// \file adversary.hpp
+/// \brief Non-uniform schedulers for robustness testing.
+///
+/// The paper's guarantees hold under the uniformly random scheduler Γ.
+/// Safety properties (at least one leader, follower-ness absorbing, domain
+/// bounds) must hold under *any* schedule, and these adversaries exercise
+/// exactly that: structured interaction patterns a deployment might see
+/// (synchronous matchings, a hub-and-spoke gateway, a biased sub-clique).
+/// Tests drive protocol executions with them and re-check the invariants;
+/// none of them is expected to preserve the *time* bounds.
+#pragma once
+
+#include <vector>
+
+#include "common.hpp"
+#include "random.hpp"
+#include "scheduler.hpp"
+
+namespace ppsim {
+
+/// Deterministic round-robin tournament (the classic circle method): each
+/// round is a perfect matching, consecutive rounds rotate the circle, and
+/// every unordered pair meets exactly once per n−1 rounds — a synchronous-
+/// network-like schedule where all agents interact at the same rate and the
+/// schedule is globally fair. Requires an even population.
+class RoundRobinScheduler {
+public:
+    explicit RoundRobinScheduler(std::size_t n) : n_(n) {
+        require(n >= 2, "population must contain at least two agents");
+        require(n % 2 == 0, "round-robin tournament needs an even population");
+    }
+
+    [[nodiscard]] Interaction next() noexcept {
+        const std::size_t pairs_per_round = n_ / 2;
+        const std::size_t pair_index = cursor_ % pairs_per_round;
+        const std::size_t round = cursor_ / pairs_per_round;
+        ++cursor_;
+        // Circle method: position 0 hosts agent 0 permanently; positions
+        // 1..n−1 hold agent 1 + ((position − 1 + round) mod (n − 1)).
+        // Pair position k with position n−1−k.
+        const auto agent_at = [&](std::size_t position) {
+            if (position == 0) return AgentId{0};
+            return static_cast<AgentId>(1 + (position - 1 + round) % (n_ - 1));
+        };
+        const AgentId a = agent_at(pair_index);
+        const AgentId b = agent_at(n_ - 1 - pair_index);
+        // Alternate roles between rounds so neither side is permanently the
+        // initiator (a permanently one-sided adversary would freeze PLL's
+        // geometric race, which is legal but uninteresting).
+        return round % 2 == 0 ? Interaction{a, b} : Interaction{b, a};
+    }
+
+private:
+    std::size_t n_;
+    std::size_t cursor_ = 0;
+};
+
+/// Star scheduler: every interaction involves the hub (agent 0) and a
+/// uniformly random leaf, with random roles — models a gateway relay.
+class StarScheduler {
+public:
+    StarScheduler(std::size_t n, std::uint64_t seed) : n_(n), rng_(seed) {
+        require(n >= 2, "population must contain at least two agents");
+    }
+
+    [[nodiscard]] Interaction next() noexcept {
+        const auto leaf = static_cast<AgentId>(1 + uniform_below(rng_, n_ - 1));
+        return coin_flip(rng_) ? Interaction{0, leaf} : Interaction{leaf, 0};
+    }
+
+private:
+    std::size_t n_;
+    Rng rng_;
+};
+
+/// Clique-biased scheduler: with probability `bias` the interaction is drawn
+/// uniformly inside a fixed sub-clique (the first `clique_size` agents);
+/// otherwise uniformly over the whole population — models a dense cluster
+/// with thin links to the rest.
+class CliqueBiasedScheduler {
+public:
+    CliqueBiasedScheduler(std::size_t n, std::size_t clique_size, double bias,
+                          std::uint64_t seed)
+        : n_(n), clique_(clique_size), bias_(bias), rng_(seed) {
+        require(n >= 2, "population must contain at least two agents");
+        require(clique_size >= 2 && clique_size <= n, "clique size out of range");
+        require(bias >= 0.0 && bias <= 1.0, "bias must be a probability");
+    }
+
+    [[nodiscard]] Interaction next() noexcept {
+        const std::size_t universe = uniform_unit(rng_) < bias_ ? clique_ : n_;
+        const auto a = static_cast<AgentId>(uniform_below(rng_, universe));
+        auto b = static_cast<AgentId>(uniform_below(rng_, universe - 1));
+        if (b >= a) ++b;
+        return Interaction{a, b};
+    }
+
+private:
+    std::size_t n_;
+    std::size_t clique_;
+    double bias_;
+    Rng rng_;
+};
+
+/// Drives `engine` with `scheduler` for `steps` interactions (the engine's
+/// internal scheduler is bypassed via Engine::apply).
+template <typename EngineT, typename SchedulerT>
+void drive(EngineT& engine, SchedulerT& scheduler, StepCount steps) {
+    for (StepCount i = 0; i < steps; ++i) engine.apply(scheduler.next());
+}
+
+}  // namespace ppsim

@@ -1,0 +1,105 @@
+/// \file common.hpp
+/// \brief Fundamental types and small utilities shared across the library.
+///
+/// Part of ppsim, a population-protocol simulation library reproducing
+/// Sudo et al., "Logarithmic Expected-Time Leader Election in Population
+/// Protocol Model" (PODC 2019).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ppsim {
+
+/// Index of an agent within a population. Populations are bounded well below
+/// 2^32 in practice, but step counts are not, so steps use 64 bits.
+using AgentId = std::uint32_t;
+
+/// A count of interactions (steps). One unit of *parallel time* equals
+/// `n` steps, where `n` is the population size.
+using StepCount = std::uint64_t;
+
+/// Sentinel for "no agent".
+inline constexpr AgentId invalid_agent = std::numeric_limits<AgentId>::max();
+
+/// The output alphabet of a leader-election protocol (the set `Y` of the
+/// paper's protocol tuple restricted to the leader-election problem).
+enum class Role : std::uint8_t {
+    follower = 0,  ///< output symbol `F`
+    leader = 1,    ///< output symbol `L`
+};
+
+/// Human-readable name of a role.
+[[nodiscard]] constexpr std::string_view to_string(Role r) noexcept {
+    return r == Role::leader ? "leader" : "follower";
+}
+
+/// Exception type for violated preconditions in public API entry points.
+class InvalidArgument : public std::invalid_argument {
+public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/// Exception type for violated internal invariants (bugs, not user errors).
+class InvariantViolation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+/// Throws InvalidArgument with a formatted message when `cond` is false.
+/// Used to validate user-facing API preconditions; never compiled out.
+inline void require(bool cond, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+    if (!cond) {
+        throw InvalidArgument(std::string(loc.file_name()) + ":" +
+                              std::to_string(loc.line()) + ": " + message);
+    }
+}
+
+/// Throws InvariantViolation when `cond` is false. Checks internal
+/// invariants that indicate a library bug rather than user error.
+inline void ensure(bool cond, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+    if (!cond) {
+        throw InvariantViolation(std::string(loc.file_name()) + ":" +
+                                 std::to_string(loc.line()) + ": " + message);
+    }
+}
+
+/// Converts a step count to parallel time for a population of size n.
+/// Parallel time is the paper's unit of time: steps divided by n.
+[[nodiscard]] constexpr double to_parallel_time(StepCount steps, std::size_t n) noexcept {
+    return n == 0 ? 0.0 : static_cast<double>(steps) / static_cast<double>(n);
+}
+
+/// ceil(log2(x)) for x >= 1; 0 for x <= 1.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+    if (x <= 1) return 0;
+    unsigned bits = 0;
+    std::uint64_t v = x - 1;
+    while (v > 0) {
+        v >>= 1U;
+        ++bits;
+    }
+    return bits;
+}
+
+/// floor(log2(x)) for x >= 1; 0 for x == 0.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t x) noexcept {
+    unsigned bits = 0;
+    while (x > 1) {
+        x >>= 1U;
+        ++bits;
+    }
+    return bits;
+}
+
+/// Library version, reported by tools and embedded in result artefacts.
+inline constexpr std::string_view library_version = "1.0.0";
+
+}  // namespace ppsim

@@ -1,0 +1,49 @@
+#include "csv.hpp"
+
+#include <algorithm>
+
+#include "common.hpp"
+
+namespace ppsim {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path, std::ios::trunc), columns_(header.size()) {
+    require(out_.good(), "cannot open " + path + " for writing");
+    require(columns_ > 0, "CSV header must declare at least one column");
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        out_ << escape(header[i]);
+        out_ << (i + 1 < header.size() ? "," : "\n");
+    }
+}
+
+void CsvWriter::write_row(std::span<const std::string> cells) {
+    require(cells.size() == columns_,
+            "CSV row has " + std::to_string(cells.size()) + " cells, expected " +
+                std::to_string(columns_));
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        out_ << escape(cells[i]);
+        out_ << (i + 1 < cells.size() ? "," : "\n");
+    }
+    ++rows_;
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> cells) {
+    write_row(std::span<const std::string>(cells.begin(), cells.size()));
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+std::string CsvWriter::escape(const std::string& field) {
+    const bool needs_quoting =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace ppsim

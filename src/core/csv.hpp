@@ -1,0 +1,38 @@
+/// \file csv.hpp
+/// \brief CSV writer for experiment output (one row per measurement), the
+/// format consumed by external plotting tools.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppsim {
+
+/// Streams rows into a CSV file with a fixed header. Fields containing
+/// commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+public:
+    /// Opens `path` (truncating) and writes the header row.
+    CsvWriter(const std::string& path, std::vector<std::string> header);
+
+    /// Writes a data row; must match the header's column count.
+    void write_row(std::span<const std::string> cells);
+    void write_row(std::initializer_list<std::string> cells);
+
+    /// Number of data rows written so far.
+    [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+    /// Flushes buffered rows to disk.
+    void flush();
+
+private:
+    static std::string escape(const std::string& field);
+
+    std::ofstream out_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+}  // namespace ppsim

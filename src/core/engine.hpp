@@ -1,0 +1,202 @@
+/// \file engine.hpp
+/// \brief The simulation engine: applies scheduled interactions to a
+/// population and tracks convergence incrementally.
+///
+/// The engine is templated on the protocol so the transition function is
+/// inlined into the interaction loop (tens of millions of interactions per
+/// second). Leader counts are maintained incrementally by re-evaluating the
+/// output map only for the two agents touched by each interaction.
+///
+/// Stabilisation semantics: for every protocol in this library, "exactly one
+/// leader" is an *absorbing* predicate — followers never become leaders and
+/// no transition eliminates the last leader (the paper proves this for PLL
+/// module by module; the baselines satisfy it by construction). The engine
+/// therefore reports the first step at which the leader count reaches one as
+/// the stabilisation step. Tests additionally run long post-convergence
+/// suffixes through `verify_outputs_stable` to validate the certificates.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "common.hpp"
+#include "population.hpp"
+#include "protocol.hpp"
+#include "scheduler.hpp"
+
+namespace ppsim {
+
+/// Outcome of a bounded engine run.
+struct RunResult {
+    bool converged = false;        ///< reached the target predicate within the budget
+    StepCount steps = 0;           ///< total steps executed by this engine so far
+    double parallel_time = 0.0;    ///< steps / n
+    std::size_t leader_count = 0;  ///< leaders at the end of the run
+    /// First step index t such that after interaction t the population had
+    /// exactly one leader; unset if that never happened.
+    std::optional<StepCount> stabilization_step;
+
+    /// Stabilisation time in parallel-time units (steps / n); NaN if the run
+    /// never reached a single leader.
+    [[nodiscard]] double stabilization_parallel_time(std::size_t n) const noexcept {
+        if (!stabilization_step) return std::numeric_limits<double>::quiet_NaN();
+        return to_parallel_time(*stabilization_step, n);
+    }
+};
+
+/// Simulation engine for a statically-typed protocol.
+template <Protocol P>
+class Engine {
+public:
+    using State = typename P::State;
+
+    /// Creates an engine over a fresh population of `n` agents in the
+    /// protocol's initial state, with an internal uniformly random scheduler.
+    Engine(P protocol, std::size_t n, std::uint64_t seed)
+        : protocol_(std::move(protocol)),
+          population_(n, protocol_.initial_state()),
+          scheduler_(n, seed) {
+        recount_leaders();
+    }
+
+    // --- observation ------------------------------------------------------
+
+    [[nodiscard]] std::size_t population_size() const noexcept { return population_.size(); }
+    [[nodiscard]] StepCount steps() const noexcept { return steps_; }
+    [[nodiscard]] double parallel_time() const noexcept {
+        return to_parallel_time(steps_, population_.size());
+    }
+    [[nodiscard]] std::size_t leader_count() const noexcept { return leader_count_; }
+    [[nodiscard]] const Population<State>& population() const noexcept { return population_; }
+    [[nodiscard]] Population<State>& population() noexcept { return population_; }
+    [[nodiscard]] const P& protocol() const noexcept { return protocol_; }
+    [[nodiscard]] std::optional<StepCount> stabilization_step() const noexcept {
+        return first_single_leader_step_;
+    }
+
+    /// Role of a single agent under the protocol's output map.
+    [[nodiscard]] Role role_of(AgentId id) const noexcept {
+        return protocol_.output(population_[id]);
+    }
+
+    // --- execution --------------------------------------------------------
+
+    /// Executes one interaction drawn from the internal random scheduler and
+    /// returns the pair that interacted.
+    Interaction step() {
+        const Interaction interaction = scheduler_.next();
+        apply(interaction);
+        return interaction;
+    }
+
+    /// Applies one specific interaction (replay / hand-driven tests).
+    void apply(Interaction interaction) {
+        auto& a = population_[interaction.initiator];
+        auto& b = population_[interaction.responder];
+        const int before = roles_as_int(a, b);
+        protocol_.interact(a, b);
+        const int after = roles_as_int(a, b);
+        leader_count_ =
+            static_cast<std::size_t>(static_cast<long long>(leader_count_) + after - before);
+        ++steps_;
+        if (leader_count_ == 1 && !first_single_leader_step_) {
+            first_single_leader_step_ = steps_;
+        }
+    }
+
+    /// Applies every interaction of a recorded schedule in order.
+    void apply(const RecordedSchedule& schedule) {
+        for (const Interaction& interaction : schedule.view()) apply(interaction);
+    }
+
+    /// Runs until exactly one leader remains or `max_steps` further steps
+    /// have been executed, whichever comes first.
+    RunResult run_until_one_leader(StepCount max_steps) {
+        return run_until(max_steps, [](const Engine& e) { return e.leader_count() == 1; });
+    }
+
+    /// Runs until `done(*this)` holds or the step budget is exhausted.
+    template <typename DonePredicate>
+    RunResult run_until(StepCount max_steps, DonePredicate done) {
+        StepCount executed = 0;
+        bool reached = done(*this);
+        while (!reached && executed < max_steps) {
+            step();
+            ++executed;
+            reached = done(*this);
+        }
+        return make_result(reached);
+    }
+
+    /// Runs exactly `count` steps (or fewer if you compose with run_until).
+    RunResult run_for(StepCount count) {
+        for (StepCount i = 0; i < count; ++i) step();
+        return make_result(leader_count_ == 1);
+    }
+
+    /// Runs `count` additional steps and reports whether any agent's *output*
+    /// changed during them. Used to validate that a detected stabilisation
+    /// point really is absorbing.
+    [[nodiscard]] bool verify_outputs_stable(StepCount count) {
+        const std::size_t leaders_before = leader_count_;
+        bool changed = false;
+        for (StepCount i = 0; i < count; ++i) {
+            const Interaction interaction = scheduler_.next();
+            const Role a_before = role_of(interaction.initiator);
+            const Role b_before = role_of(interaction.responder);
+            apply(interaction);
+            if (role_of(interaction.initiator) != a_before ||
+                role_of(interaction.responder) != b_before) {
+                changed = true;
+            }
+        }
+        return !changed && leader_count_ == leaders_before;
+    }
+
+    /// Recomputes the leader count from scratch (O(n)); the engine keeps the
+    /// count incrementally, so this exists for tests and defensive checks.
+    std::size_t recount_leaders() {
+        leader_count_ = population_.count_if(
+            [this](const State& s) { return protocol_.output(s) == Role::leader; });
+        return leader_count_;
+    }
+
+    /// Direct access to the scheduler (e.g. to inspect or reseed streams).
+    [[nodiscard]] UniformScheduler& scheduler() noexcept { return scheduler_; }
+
+private:
+    [[nodiscard]] int roles_as_int(const State& a, const State& b) const noexcept {
+        return static_cast<int>(protocol_.output(a) == Role::leader) +
+               static_cast<int>(protocol_.output(b) == Role::leader);
+    }
+
+    [[nodiscard]] RunResult make_result(bool converged) const noexcept {
+        RunResult r;
+        r.converged = converged;
+        r.steps = steps_;
+        r.parallel_time = to_parallel_time(steps_, population_.size());
+        r.leader_count = leader_count_;
+        r.stabilization_step = first_single_leader_step_;
+        return r;
+    }
+
+    P protocol_;
+    Population<State> population_;
+    UniformScheduler scheduler_;
+    StepCount steps_ = 0;
+    std::size_t leader_count_ = 0;
+    std::optional<StepCount> first_single_leader_step_;
+};
+
+/// Convenience: simulate protocol `proto` on `n` agents with `seed` until one
+/// leader remains or the budget runs out, and return the result.
+template <Protocol P>
+[[nodiscard]] RunResult simulate_to_single_leader(P proto, std::size_t n, std::uint64_t seed,
+                                                  StepCount max_steps) {
+    Engine<P> engine(std::move(proto), n, seed);
+    return engine.run_until_one_leader(max_steps);
+}
+
+}  // namespace ppsim

@@ -1,0 +1,157 @@
+#include "json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common.hpp"
+
+namespace ppsim {
+
+JsonValue JsonValue::array() {
+    JsonValue v;
+    v.data_ = Array{};
+    return v;
+}
+
+JsonValue JsonValue::object() {
+    JsonValue v;
+    v.data_ = Object{};
+    return v;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+    if (is_null()) data_ = Array{};
+    require(is_array(), "push_back on a non-array JSON value");
+    std::get<Array>(data_).items.push_back(std::move(v));
+    return *this;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+    (*this)[key] = std::move(v);
+    return *this;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+    if (is_null()) data_ = Object{};
+    require(is_object(), "member access on a non-object JSON value");
+    auto& members = std::get<Object>(data_).members;
+    for (auto& [k, v] : members) {
+        if (k == key) return v;
+    }
+    members.emplace_back(key, JsonValue());
+    return members.back().second;
+}
+
+bool JsonValue::is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(data_);
+}
+bool JsonValue::is_array() const noexcept { return std::holds_alternative<Array>(data_); }
+bool JsonValue::is_object() const noexcept { return std::holds_alternative<Object>(data_); }
+
+void JsonValue::escape_into(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+    if (!std::isfinite(d)) {
+        // JSON has no NaN/Inf; emit null, which downstream tooling treats as
+        // "no value" (e.g. a run that never stabilised).
+        out += "null";
+        return;
+    }
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+        out += std::to_string(static_cast<long long>(d));
+        return;
+    }
+    std::ostringstream ss;
+    ss.precision(12);
+    ss << d;
+    out += ss.str();
+}
+
+}  // namespace
+
+void JsonValue::dump_impl(std::string& out, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+                          ' ');
+    const std::string pad_in(
+        static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth + 1), ' ');
+    if (std::holds_alternative<std::nullptr_t>(data_)) {
+        out += "null";
+    } else if (const bool* b = std::get_if<bool>(&data_)) {
+        out += *b ? "true" : "false";
+    } else if (const double* d = std::get_if<double>(&data_)) {
+        append_number(out, *d);
+    } else if (const std::string* s = std::get_if<std::string>(&data_)) {
+        escape_into(out, *s);
+    } else if (const Array* a = std::get_if<Array>(&data_)) {
+        if (a->items.empty()) {
+            out += "[]";
+            return;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < a->items.size(); ++i) {
+            out += pad_in;
+            a->items[i].dump_impl(out, indent, depth + 1);
+            if (i + 1 < a->items.size()) out += ',';
+            out += '\n';
+        }
+        out += pad + "]";
+    } else if (const Object* o = std::get_if<Object>(&data_)) {
+        if (o->members.empty()) {
+            out += "{}";
+            return;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < o->members.size(); ++i) {
+            out += pad_in;
+            escape_into(out, o->members[i].first);
+            out += ": ";
+            o->members[i].second.dump_impl(out, indent, depth + 1);
+            if (i + 1 < o->members.size()) out += ',';
+            out += '\n';
+        }
+        out += pad + "}";
+    }
+}
+
+std::string JsonValue::dump(int indent) const {
+    std::string out;
+    dump_impl(out, indent, 0);
+    return out;
+}
+
+void write_json_file(const std::string& path, const JsonValue& value) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        require(out.good(), "cannot open " + tmp + " for writing");
+        out << value.dump() << '\n';
+    }
+    std::filesystem::rename(tmp, path);
+}
+
+}  // namespace ppsim

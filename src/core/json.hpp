@@ -1,0 +1,73 @@
+/// \file json.hpp
+/// \brief Minimal JSON document builder used to persist experiment artefacts.
+///
+/// Write-only by design: experiments emit machine-readable results alongside
+/// the human-readable tables; nothing in the library parses JSON back, so we
+/// keep a small, dependency-free value type rather than a full parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ppsim {
+
+/// A JSON value: null, bool, number, string, array or object.
+/// Objects preserve insertion order (experiment output stays diffable).
+class JsonValue {
+public:
+    JsonValue() : data_(nullptr) {}
+    JsonValue(std::nullptr_t) : data_(nullptr) {}
+    JsonValue(bool b) : data_(b) {}
+    JsonValue(double d) : data_(d) {}
+    JsonValue(int i) : data_(static_cast<double>(i)) {}
+    JsonValue(unsigned u) : data_(static_cast<double>(u)) {}
+    JsonValue(std::int64_t i) : data_(static_cast<double>(i)) {}
+    JsonValue(std::uint64_t u) : data_(static_cast<double>(u)) {}
+    JsonValue(const char* s) : data_(std::string(s)) {}
+    JsonValue(std::string s) : data_(std::move(s)) {}
+    JsonValue(std::string_view s) : data_(std::string(s)) {}
+
+    /// Creates an empty array value.
+    [[nodiscard]] static JsonValue array();
+    /// Creates an empty object value.
+    [[nodiscard]] static JsonValue object();
+
+    /// Appends to an array value (converts a null value into an array first).
+    JsonValue& push_back(JsonValue v);
+
+    /// Sets an object member (converts a null value into an object first).
+    JsonValue& set(const std::string& key, JsonValue v);
+
+    /// Member access; inserts a null member when absent (object context).
+    JsonValue& operator[](const std::string& key);
+
+    [[nodiscard]] bool is_null() const noexcept;
+    [[nodiscard]] bool is_array() const noexcept;
+    [[nodiscard]] bool is_object() const noexcept;
+
+    /// Serialises with 2-space indentation.
+    [[nodiscard]] std::string dump(int indent = 2) const;
+
+private:
+    struct Array {
+        std::vector<JsonValue> items;
+    };
+    struct Object {
+        std::vector<std::pair<std::string, JsonValue>> members;
+    };
+
+    void dump_impl(std::string& out, int indent, int depth) const;
+    static void escape_into(std::string& out, const std::string& s);
+
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Writes `value` to `path` atomically (write temp file, then rename).
+void write_json_file(const std::string& path, const JsonValue& value);
+
+}  // namespace ppsim

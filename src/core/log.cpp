@@ -1,0 +1,63 @@
+#include "log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace ppsim {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::info)};
+std::once_flag g_env_once;
+std::mutex g_write_mutex;
+
+void apply_env_override() {
+    const char* env = std::getenv("PPSIM_LOG");
+    if (env == nullptr) return;
+    const std::string value(env);
+    if (value == "debug") g_level = static_cast<int>(LogLevel::debug);
+    else if (value == "info") g_level = static_cast<int>(LogLevel::info);
+    else if (value == "warn") g_level = static_cast<int>(LogLevel::warn);
+    else if (value == "error") g_level = static_cast<int>(LogLevel::error);
+    else if (value == "off") g_level = static_cast<int>(LogLevel::off);
+}
+
+double seconds_since_start() {
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point start = Clock::now();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::debug: return "DEBUG";
+        case LogLevel::info: return "INFO";
+        case LogLevel::warn: return "WARN";
+        case LogLevel::error: return "ERROR";
+        case LogLevel::off: return "OFF";
+    }
+    return "?";
+}
+
+void set_log_level(LogLevel level) noexcept { g_level = static_cast<int>(level); }
+
+LogLevel log_level() noexcept {
+    std::call_once(g_env_once, apply_env_override);
+    return static_cast<LogLevel>(g_level.load());
+}
+
+void log_message(LogLevel level, std::string_view message) {
+    if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+    const std::lock_guard lock(g_write_mutex);
+    std::fprintf(stderr, "[%8.3f] %-5s %.*s\n", seconds_since_start(),
+                 std::string(to_string(level)).c_str(),
+                 static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace ppsim

@@ -1,0 +1,39 @@
+/// \file log.hpp
+/// \brief Levelled, thread-safe logging for the experiment harness.
+///
+/// Benches and examples narrate long-running sweeps through this logger;
+/// tests run with the logger silenced. Deliberately minimal: message +
+/// level + monotonic timestamp, no formatting DSL.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ppsim {
+
+/// Severity levels, ordered.
+enum class LogLevel : int {
+    debug = 0,
+    info = 1,
+    warn = 2,
+    error = 3,
+    off = 4,
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Global threshold: messages below it are dropped. Defaults to info; the
+/// PPSIM_LOG environment variable (debug|info|warn|error|off) overrides it
+/// at first use.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one log line to stderr (thread-safe, line-buffered).
+void log_message(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view msg) { log_message(LogLevel::debug, msg); }
+inline void log_info(std::string_view msg) { log_message(LogLevel::info, msg); }
+inline void log_warn(std::string_view msg) { log_message(LogLevel::warn, msg); }
+inline void log_error(std::string_view msg) { log_message(LogLevel::error, msg); }
+
+}  // namespace ppsim

@@ -1,0 +1,92 @@
+/// \file metrics.hpp
+/// \brief Lightweight measurement utilities: wall-clock stopwatch, decimated
+/// time series, and named counters used by benches and experiments.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace ppsim {
+
+/// Wall-clock stopwatch (steady clock).
+class Stopwatch {
+public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void restart() { start_ = Clock::now(); }
+
+    [[nodiscard]] double elapsed_seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// Records (step, value) observations, keeping memory bounded by halving the
+/// sampling rate whenever the buffer fills (standard decimation). Used to
+/// trace e.g. leader-count-over-time curves for the examples.
+class TimeSeries {
+public:
+    explicit TimeSeries(std::size_t max_points = 4096)
+        : max_points_(max_points < 2 ? 2 : max_points) {}
+
+    /// Offers an observation; it is recorded iff the step passes the current
+    /// decimation stride.
+    void record(StepCount step, double value) {
+        if (step % stride_ != 0) return;
+        points_.push_back(Point{step, value});
+        if (points_.size() >= max_points_) decimate();
+    }
+
+    struct Point {
+        StepCount step;
+        double value;
+    };
+
+    [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+    [[nodiscard]] StepCount stride() const noexcept { return stride_; }
+
+private:
+    void decimate() {
+        std::vector<Point> kept;
+        kept.reserve(points_.size() / 2 + 1);
+        for (std::size_t i = 0; i < points_.size(); i += 2) kept.push_back(points_[i]);
+        points_ = std::move(kept);
+        stride_ *= 2;
+    }
+
+    std::size_t max_points_;
+    StepCount stride_ = 1;
+    std::vector<Point> points_;
+};
+
+/// A bag of named monotonic counters; protocols with introspection hooks and
+/// benches use this to attribute events (coin flips, epidemics, module
+/// transitions) without hard-coding a schema.
+class CounterSet {
+public:
+    void increment(const std::string& name, std::uint64_t by = 1) { counters_[name] += by; }
+
+    [[nodiscard]] std::uint64_t value(const std::string& name) const {
+        const auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const noexcept {
+        return counters_;
+    }
+
+    void clear() { counters_.clear(); }
+
+private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace ppsim

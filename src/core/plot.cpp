@@ -1,0 +1,98 @@
+#include "plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common.hpp"
+
+namespace ppsim {
+
+void AsciiPlot::add_series(PlotSeries series) {
+    require(!series.x.empty(), "plot series must contain at least one point");
+    require(series.x.size() == series.y.size(),
+            "plot series needs equally many x and y values");
+    series_.push_back(std::move(series));
+}
+
+std::string AsciiPlot::render(std::size_t width, std::size_t height) const {
+    require(width >= 20 && height >= 5, "plot canvas too small");
+    require(!series_.empty(), "nothing to plot");
+
+    const auto tx = [this](double x) { return log2_x_ ? std::log2(x) : x; };
+
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -std::numeric_limits<double>::infinity();
+    double min_y = std::numeric_limits<double>::infinity();
+    double max_y = -std::numeric_limits<double>::infinity();
+    for (const PlotSeries& s : series_) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            min_x = std::min(min_x, tx(s.x[i]));
+            max_x = std::max(max_x, tx(s.x[i]));
+            min_y = std::min(min_y, s.y[i]);
+            max_y = std::max(max_y, s.y[i]);
+        }
+    }
+    // Degenerate ranges still render: pad them symmetrically.
+    if (min_x == max_x) {
+        min_x -= 1.0;
+        max_x += 1.0;
+    }
+    if (min_y == max_y) {
+        min_y -= 1.0;
+        max_y += 1.0;
+    }
+    // Anchor the y axis at zero when the data lives near it — scaling plots
+    // read better with an absolute origin.
+    if (min_y > 0.0 && min_y < 0.5 * max_y) min_y = 0.0;
+
+    std::vector<std::string> canvas(height, std::string(width, ' '));
+    const auto col_of = [&](double x) {
+        const double frac = (tx(x) - min_x) / (max_x - min_x);
+        return std::min(width - 1, static_cast<std::size_t>(frac *
+                                                            static_cast<double>(width - 1)));
+    };
+    const auto row_of = [&](double y) {
+        const double frac = (y - min_y) / (max_y - min_y);
+        const auto from_bottom =
+            std::min(height - 1,
+                     static_cast<std::size_t>(frac * static_cast<double>(height - 1)));
+        return height - 1 - from_bottom;
+    };
+    for (const PlotSeries& s : series_) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            canvas[row_of(s.y[i])][col_of(s.x[i])] = s.glyph;
+        }
+    }
+
+    std::ostringstream out;
+    if (!title_.empty()) out << title_ << "\n";
+    char label[64];
+    std::snprintf(label, sizeof label, "%10.4g", max_y);
+    out << label << " +" << canvas.front() << "\n";
+    for (std::size_t r = 1; r + 1 < height; ++r) {
+        out << std::string(10, ' ') << " |" << canvas[r] << "\n";
+    }
+    std::snprintf(label, sizeof label, "%10.4g", min_y);
+    out << label << " +" << canvas.back() << "\n";
+    out << std::string(11, ' ') << '+' << std::string(width, '-') << "\n";
+    std::snprintf(label, sizeof label, "%-.4g", log2_x_ ? std::exp2(min_x) : min_x);
+    std::string axis_line = std::string(12, ' ') + label;
+    std::snprintf(label, sizeof label, "%.4g", log2_x_ ? std::exp2(max_x) : max_x);
+    const std::string right(label);
+    const std::size_t pad = 12 + width > axis_line.size() + right.size()
+                                ? 12 + width - axis_line.size() - right.size()
+                                : 1;
+    axis_line += std::string(pad, ' ') + right;
+    out << axis_line << "\n";
+    out << std::string(12, ' ') << x_label_ << (log2_x_ ? " (log2 axis)" : "")
+        << "   [y: " << y_label_ << "]\n";
+    for (const PlotSeries& s : series_) {
+        out << std::string(12, ' ') << s.glyph << " = " << s.name << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace ppsim

@@ -1,0 +1,50 @@
+/// \file population.hpp
+/// \brief Contiguous storage of agent states — the configuration C: V → Q.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common.hpp"
+
+namespace ppsim {
+
+/// A configuration of the population: one state per agent, stored
+/// contiguously for cache-friendly access by the engine. `State` must be a
+/// small trivially-copyable value (enforced at the protocol concept level).
+template <typename State>
+class Population {
+public:
+    /// Creates a population of `n` agents, all in `initial` — the paper's
+    /// C_init where every agent is in state s_init.
+    Population(std::size_t n, const State& initial)
+        : states_(n, initial) {
+        require(n >= 2, "population must contain at least two agents");
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+
+    [[nodiscard]] State& operator[](AgentId id) noexcept { return states_[id]; }
+    [[nodiscard]] const State& operator[](AgentId id) const noexcept { return states_[id]; }
+
+    [[nodiscard]] std::span<State> states() noexcept { return states_; }
+    [[nodiscard]] std::span<const State> states() const noexcept { return states_; }
+
+    /// Counts agents whose state satisfies `pred`.
+    template <typename Pred>
+    [[nodiscard]] std::size_t count_if(Pred pred) const {
+        return static_cast<std::size_t>(
+            std::count_if(states_.begin(), states_.end(), pred));
+    }
+
+    /// Resets every agent to `initial`.
+    void reset(const State& initial) {
+        std::fill(states_.begin(), states_.end(), initial);
+    }
+
+private:
+    std::vector<State> states_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,171 @@
+/// \file random.hpp
+/// \brief Pseudo-random number generation for the simulation engine.
+///
+/// The population-protocol model has a single source of randomness: the
+/// uniformly random scheduler that picks an ordered pair of agents at every
+/// step. All protocol transition functions are deterministic. A simulation's
+/// statistical quality therefore rests entirely on the scheduler's PRNG.
+///
+/// We provide two generators:
+///  * SplitMix64 — tiny, used for seeding and for cheap auxiliary streams;
+///  * Xoshiro256pp (xoshiro256++) — the main generator: 256-bit state,
+///    period 2^256 − 1, passes BigCrush, and supports `jump()` for creating
+///    2^128-decorrelated parallel streams (one per worker thread).
+///
+/// Both satisfy the C++ UniformRandomBitGenerator concept so they compose
+/// with <random> distributions, but hot paths use the bias-free bounded
+/// sampling below (Lemire's method) instead of std::uniform_int_distribution,
+/// whose implementation varies across standard libraries and would break
+/// cross-platform reproducibility of seeded runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "common.hpp"
+
+namespace ppsim {
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014). Used to expand a single
+/// 64-bit seed into larger seed material and as a cheap standalone stream.
+class SplitMix64 {
+public:
+    using result_type = std::uint64_t;
+
+    constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27U)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31U);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 (Blackman & Vigna 2019). The library's main generator.
+class Xoshiro256pp {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four state words from a single 64-bit seed via SplitMix64,
+    /// the seeding procedure recommended by the xoshiro authors.
+    constexpr explicit Xoshiro256pp(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& word : state_) word = sm();
+        // An all-zero state is the one fixed point; SplitMix64 cannot emit
+        // four zero words in a row, but guard anyway for safety.
+        if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+    }
+
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17U;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Advances the state by 2^128 steps: calling jump() k times on copies of
+    /// one generator yields k streams that never overlap in any feasible run.
+    constexpr void jump() noexcept {
+        constexpr std::array<std::uint64_t, 4> jump_poly = {
+            0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+        std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+        for (std::uint64_t word : jump_poly) {
+            for (unsigned bit = 0; bit < 64; ++bit) {
+                if ((word & (1ULL << bit)) != 0) {
+                    for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+                }
+                (*this)();
+            }
+        }
+        state_ = acc;
+    }
+
+    /// Returns a copy jumped `index + 1` times: stream #0, #1, ... for workers.
+    [[nodiscard]] constexpr Xoshiro256pp split(unsigned index) const noexcept {
+        Xoshiro256pp child = *this;
+        for (unsigned i = 0; i <= index; ++i) child.jump();
+        return child;
+    }
+
+private:
+    [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << static_cast<unsigned>(k)) | (x >> (64U - static_cast<unsigned>(k)));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+/// The generator type used by the scheduler and all experiment drivers.
+using Rng = Xoshiro256pp;
+
+/// Unbiased sampling of an integer in [0, bound) by Lemire's multiply-shift
+/// rejection method. Identical output on every platform for a given stream.
+template <typename Generator>
+[[nodiscard]] constexpr std::uint64_t uniform_below(Generator& gen, std::uint64_t bound) noexcept {
+    // bound == 0 would be a caller bug; map it to 0 deterministically rather
+    // than dividing by zero (callers validate in debug builds).
+    if (bound == 0) return 0;
+    while (true) {
+        const std::uint64_t x = gen();
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+        const auto low = static_cast<std::uint64_t>(m);
+        if (low >= bound) return static_cast<std::uint64_t>(m >> 64U);
+        // Rejection zone: only entered with probability < bound / 2^64.
+        const std::uint64_t threshold = (0ULL - bound) % bound;
+        if (low >= threshold) return static_cast<std::uint64_t>(m >> 64U);
+    }
+}
+
+/// Samples an integer in the closed range [lo, hi].
+template <typename Generator>
+[[nodiscard]] constexpr std::uint64_t uniform_between(Generator& gen, std::uint64_t lo,
+                                                      std::uint64_t hi) noexcept {
+    return lo + uniform_below(gen, hi - lo + 1);
+}
+
+/// Samples a double uniformly in [0, 1) with 53 bits of precision.
+template <typename Generator>
+[[nodiscard]] constexpr double uniform_unit(Generator& gen) noexcept {
+    return static_cast<double>(gen() >> 11U) * 0x1.0p-53;
+}
+
+/// Fair coin.
+template <typename Generator>
+[[nodiscard]] constexpr bool coin_flip(Generator& gen) noexcept {
+    return (gen() >> 63U) != 0;
+}
+
+/// Derives a child seed from a root seed and a stream index. Used to give
+/// every repetition of an experiment an independent, reproducible seed.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t root,
+                                                  std::uint64_t stream) noexcept {
+    SplitMix64 sm(root ^ (0x632be59bd9b4e019ULL * (stream + 1)));
+    // Burn a few outputs so nearby stream indices decorrelate fully.
+    sm();
+    sm();
+    return sm();
+}
+
+}  // namespace ppsim

@@ -1,0 +1,267 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "common.hpp"
+
+namespace ppsim {
+
+// --- RunningStats -----------------------------------------------------------
+
+void RunningStats::add(double x) noexcept {
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+    return count_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::ci_half_width(double level) const {
+    // Normal-approximation z values for the levels the harness uses. The
+    // sample counts in experiments (≥ 30) make the normal approximation fine.
+    double z = 1.959964;
+    if (level == 0.90) {
+        z = 1.644854;
+    } else if (level == 0.95) {
+        z = 1.959964;
+    } else if (level == 0.99) {
+        z = 2.575829;
+    } else {
+        throw InvalidArgument("unsupported confidence level; use 0.90, 0.95 or 0.99");
+    }
+    return z * sem();
+}
+
+// --- SampleSet ---------------------------------------------------------------
+
+void SampleSet::add(std::span<const double> xs) {
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double SampleSet::mean() const noexcept {
+    if (samples_.empty()) return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double SampleSet::variance() const noexcept {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(samples_.size() - 1);
+}
+
+double SampleSet::stddev() const noexcept { return std::sqrt(variance()); }
+
+double SampleSet::min() const noexcept {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const noexcept {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::percentile(double p) const {
+    require(!samples_.empty(), "percentile of an empty sample set");
+    require(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+    ensure_sorted();
+    if (samples_.size() == 1) return samples_.front();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    require(bins >= 1, "histogram needs at least one bin");
+    require(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) noexcept {
+    const double span = hi_ - lo_;
+    auto idx = static_cast<long long>((x - lo_) / span * static_cast<double>(counts_.size()));
+    idx = std::clamp<long long>(idx, 0, static_cast<long long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double Histogram::bin_lower(std::size_t i) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_upper(std::size_t i) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+    std::ostringstream out;
+    const std::uint64_t peak = counts_.empty()
+        ? 0
+        : *std::max_element(counts_.begin(), counts_.end());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double frac = peak == 0 ? 0.0
+                                      : static_cast<double>(counts_[i]) /
+                                            static_cast<double>(peak);
+        const auto bar = static_cast<std::size_t>(frac * static_cast<double>(width));
+        out << "[" << bin_lower(i) << ", " << bin_upper(i) << ") "
+            << std::string(bar, '#') << " " << counts_[i] << "\n";
+    }
+    return out.str();
+}
+
+// --- FrequencyTable ------------------------------------------------------------
+
+std::size_t FrequencyTable::key_index(std::uint64_t key) {
+    if (key >= counts_.size()) counts_.resize(key + 1, 0);
+    return static_cast<std::size_t>(key);
+}
+
+std::uint64_t FrequencyTable::count(std::uint64_t key) const noexcept {
+    return key < counts_.size() ? counts_[key] : 0;
+}
+
+double FrequencyTable::fraction(std::uint64_t key) const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+std::uint64_t FrequencyTable::max_key() const noexcept {
+    for (std::size_t i = counts_.size(); i-- > 0;) {
+        if (counts_[i] != 0) return i;
+    }
+    return 0;
+}
+
+// --- fits ----------------------------------------------------------------------
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+    require(x.size() == y.size(), "fit requires equally many x and y values");
+    require(x.size() >= 2, "fit requires at least two points");
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0;
+    double sy = 0.0;
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (denom == 0.0) {
+        fit.slope = 0.0;
+        fit.intercept = sy / n;
+        fit.r_squared = 0.0;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    const double ss_tot = syy - sy * sy / n;
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+        ss_res += e * e;
+    }
+    fit.r_squared = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+    return fit;
+}
+
+LinearFit fit_log2(std::span<const double> x, std::span<const double> y) {
+    std::vector<double> lx(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        require(x[i] > 0.0, "fit_log2 requires positive x values");
+        lx[i] = std::log2(x[i]);
+    }
+    return fit_linear(lx, y);
+}
+
+LinearFit fit_power_law(std::span<const double> x, std::span<const double> y) {
+    std::vector<double> lx(x.size());
+    std::vector<double> ly(y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        require(x[i] > 0.0 && y[i] > 0.0, "fit_power_law requires positive values");
+        lx[i] = std::log2(x[i]);
+        ly[i] = std::log2(y[i]);
+    }
+    return fit_linear(lx, ly);
+}
+
+ProportionCi wilson_interval(std::uint64_t successes, std::uint64_t trials, double level) {
+    require(trials > 0, "wilson_interval requires at least one trial");
+    require(successes <= trials, "successes cannot exceed trials");
+    double z = 1.959964;
+    if (level == 0.90) {
+        z = 1.644854;
+    } else if (level == 0.99) {
+        z = 2.575829;
+    } else if (level != 0.95) {
+        throw InvalidArgument("unsupported confidence level; use 0.90, 0.95 or 0.99");
+    }
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double centre = (p + z2 / (2.0 * n)) / denom;
+    const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    ProportionCi ci;
+    ci.estimate = p;
+    ci.lower = std::max(0.0, centre - margin);
+    ci.upper = std::min(1.0, centre + margin);
+    return ci;
+}
+
+}  // namespace ppsim

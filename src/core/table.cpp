@@ -1,0 +1,91 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common.hpp"
+
+namespace ppsim {
+
+void TextTable::add_column(std::string heading, Align align) {
+    require(rows_.empty(), "declare all columns before adding rows");
+    headings_.push_back(std::move(heading));
+    aligns_.push_back(align);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    require(cells.size() == headings_.size(),
+            "row has " + std::to_string(cells.size()) + " cells but table has " +
+                std::to_string(headings_.size()) + " columns");
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::render(std::string_view title) const {
+    std::vector<std::size_t> widths(headings_.size());
+    for (std::size_t c = 0; c < headings_.size(); ++c) widths[c] = headings_[c].size();
+    for (const Row& row : rows_) {
+        if (row.separator) continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    const auto pad = [](const std::string& s, std::size_t w, Align a) {
+        if (s.size() >= w) return s;
+        const std::string fill(w - s.size(), ' ');
+        return a == Align::left ? s + fill : fill + s;
+    };
+
+    std::ostringstream out;
+    if (!title.empty()) out << title << '\n';
+
+    const auto emit_rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out << std::string(widths[c] + 2, '-');
+            out << (c + 1 < widths.size() ? "+" : "\n");
+        }
+    };
+
+    for (std::size_t c = 0; c < headings_.size(); ++c) {
+        out << ' ' << pad(headings_[c], widths[c], Align::left) << ' ';
+        out << (c + 1 < headings_.size() ? "|" : "\n");
+    }
+    emit_rule();
+    for (const Row& row : rows_) {
+        if (row.separator) {
+            emit_rule();
+            continue;
+        }
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            out << ' ' << pad(row.cells[c], widths[c], aligns_[c]) << ' ';
+            out << (c + 1 < row.cells.size() ? "|" : "\n");
+        }
+    }
+    return out.str();
+}
+
+std::string format_double(double value, int digits) {
+    if (std::isnan(value)) return "n/a";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return buf;
+}
+
+std::string format_probability(double value) {
+    if (std::isnan(value)) return "n/a";
+    if (value == 0.0) return "0";
+    if (value >= 0.01) return format_double(value, 4);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.2e", value);
+    return buf;
+}
+
+std::string format_with_ci(double value, double half_width, int digits) {
+    return format_double(value, digits) + " ± " + format_double(half_width, digits);
+}
+
+}  // namespace ppsim

@@ -1,0 +1,87 @@
+#include "thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace ppsim {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        const std::lock_guard lock(mutex_);
+        ensure(!stopping_, "submit on a stopping ThreadPool");
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+        }
+        task();
+        {
+            const std::lock_guard lock(mutex_);
+            --in_flight_;
+        }
+        idle_.notify_all();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t count, std::size_t threads,
+                              const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    threads = std::min(threads, count);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> team;
+    team.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        team.emplace_back([&] {
+            while (true) {
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count) return;
+                fn(i);
+            }
+        });
+    }
+    for (std::thread& member : team) member.join();
+}
+
+}  // namespace ppsim

@@ -1,0 +1,55 @@
+/// \file thread_pool.hpp
+/// \brief A small fixed-size thread pool for running independent simulation
+/// repetitions in parallel (one PRNG stream per task via derive_seed).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+
+namespace ppsim {
+
+/// Fixed-size pool of worker threads executing queued tasks FIFO.
+/// Destruction waits for all queued tasks to finish (no detached work).
+class ThreadPool {
+public:
+    /// \param threads  worker count; 0 means hardware_concurrency (min 1).
+    explicit ThreadPool(std::size_t threads = 0);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool();
+
+    /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+    /// terminate the program (tasks should capture and report their errors).
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has completed.
+    void wait_idle();
+
+    [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+    /// Runs `count` indexed tasks across the pool and waits for completion:
+    /// fn(0), fn(1), …, fn(count−1). The common pattern for seed sweeps.
+    static void parallel_for(std::size_t count, std::size_t threads,
+                             const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,54 @@
+/// \file angluin.hpp
+/// \brief The constant-space leader-election protocol of Angluin, Aspnes,
+/// Diamadi, Fischer and Peralta (2006) — Table 1's first row.
+///
+/// Two states suffice: every agent starts as a leader; when two leaders
+/// meet, the responder becomes a follower. Exactly one leader remains after
+/// the last leader-leader meeting; the expected stabilisation time is
+/// Θ(n) parallel time (the final two leaders need Θ(n²) expected steps to
+/// meet), which is optimal for constant-space protocols by Doty &
+/// Soloveichik (2018) — Table 2's first row.
+///
+/// PLL's BackUp module embeds this rule as its line-58 fallback.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "../core/common.hpp"
+#include "../core/protocol.hpp"
+
+namespace ppsim {
+
+/// State: just the output variable.
+struct AngluinState {
+    bool leader = true;
+
+    friend constexpr bool operator==(const AngluinState&, const AngluinState&) = default;
+};
+
+/// The [Ang+06] protocol: `L × L → L × F`, all other pairs unchanged.
+class Angluin {
+public:
+    using State = AngluinState;
+
+    [[nodiscard]] State initial_state() const noexcept { return State{}; }
+
+    [[nodiscard]] Role output(const State& s) const noexcept {
+        return s.leader ? Role::leader : Role::follower;
+    }
+
+    void interact(State& a0, State& a1) const noexcept {
+        if (a0.leader && a1.leader) a1.leader = false;
+    }
+
+    [[nodiscard]] std::string_view name() const noexcept { return "angluin06"; }
+
+    [[nodiscard]] std::uint64_t state_key(const State& s) const noexcept {
+        return s.leader ? 1 : 0;
+    }
+
+    [[nodiscard]] std::size_t state_bound() const noexcept { return 2; }
+};
+
+}  // namespace ppsim

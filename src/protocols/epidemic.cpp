@@ -1,0 +1,61 @@
+#include "epidemic.hpp"
+
+#include <cmath>
+
+namespace ppsim {
+
+EpidemicProcess::EpidemicProcess(std::size_t n, std::vector<bool> members, AgentId root)
+    : n_(n), members_(std::move(members)), infected_(n, false) {
+    require(n >= 2, "epidemic needs at least two agents");
+    require(members_.size() == n, "membership mask must cover the population");
+    for (bool m : members_) members_count_ += m ? 1 : 0;
+    require(members_count_ >= 1, "sub-population must be non-empty");
+    require(root < n && members_[root], "root must belong to the sub-population");
+    infected_[root] = true;
+    infected_count_ = 1;
+}
+
+EpidemicProcess EpidemicProcess::prefix_subpopulation(std::size_t n, std::size_t n_prime) {
+    require(n_prime >= 1 && n_prime <= n, "sub-population size out of range");
+    std::vector<bool> members(n, false);
+    for (std::size_t i = 0; i < n_prime; ++i) members[i] = true;
+    return EpidemicProcess(n, std::move(members), 0);
+}
+
+bool EpidemicProcess::apply(const Interaction& interaction) noexcept {
+    const AgentId u = interaction.initiator;
+    const AgentId v = interaction.responder;
+    // Infection spreads only inside V′, in either direction (the epidemic
+    // definition intersects the interaction with V′ — one-way refers to
+    // values, not roles).
+    if (!members_[u] || !members_[v]) return false;
+    if (infected_[u] == infected_[v]) return false;
+    if (infected_[u]) {
+        infected_[v] = true;
+    } else {
+        infected_[u] = true;
+    }
+    ++infected_count_;
+    return true;
+}
+
+StepCount EpidemicProcess::run_to_completion(std::uint64_t seed, StepCount max_steps) {
+    UniformScheduler scheduler(n_, seed);
+    StepCount steps = 0;
+    while (!complete() && steps < max_steps) {
+        apply(scheduler.next());
+        ++steps;
+    }
+    ensure(complete(), "epidemic did not complete within the step budget");
+    return steps;
+}
+
+double EpidemicProcess::lemma2_failure_bound(StepCount steps) const noexcept {
+    // steps = 2⌈n/n′⌉·t  ⇒  t = steps / (2⌈n/n′⌉); bound = n·e^{−t/n}.
+    const double ratio =
+        std::ceil(static_cast<double>(n_) / static_cast<double>(members_count_));
+    const double t = static_cast<double>(steps) / (2.0 * ratio);
+    return static_cast<double>(n_) * std::exp(-t / static_cast<double>(n_));
+}
+
+}  // namespace ppsim

@@ -1,0 +1,75 @@
+/// \file epidemic.hpp
+/// \brief One-way epidemic: the paper's core analytical substrate (§2,
+/// Lemma 2), both as a standalone measurable process and as a generic
+/// max-propagation protocol component.
+///
+/// The epidemic function I_{V′,r,γ} starts with one infected agent r in a
+/// sub-population V′ ⊆ V; an agent of V′ becomes infected by interacting
+/// with an infected agent, and infection never clears. Lemma 2 bounds the
+/// completion time: Pr[ I_{V′,r,Γ}(2⌈n/n′⌉t) ≠ V′ ] ≤ n·e^{−t/n}.
+/// `bench_epidemic` measures completion times against this bound.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "../core/common.hpp"
+#include "../core/random.hpp"
+#include "../core/scheduler.hpp"
+
+namespace ppsim {
+
+/// Standalone one-way epidemic process over an explicit sub-population.
+/// Not a Protocol: infection status is per-agent-identity (agent r is
+/// special), which the anonymous protocol abstraction cannot express; the
+/// process mirrors the paper's definition directly instead.
+class EpidemicProcess {
+public:
+    /// \param n        total population size (the scheduler draws from all of V)
+    /// \param members  membership mask of V′ (size n, true = in V′)
+    /// \param root     the initially infected agent r ∈ V′
+    EpidemicProcess(std::size_t n, std::vector<bool> members, AgentId root);
+
+    /// Convenience: V′ = the first n′ agents, r = agent 0.
+    [[nodiscard]] static EpidemicProcess prefix_subpopulation(std::size_t n, std::size_t n_prime);
+
+    /// Feeds one interaction; returns true if it infected a new agent.
+    bool apply(const Interaction& interaction) noexcept;
+
+    [[nodiscard]] bool infected(AgentId v) const noexcept { return infected_[v]; }
+    [[nodiscard]] std::size_t infected_count() const noexcept { return infected_count_; }
+    [[nodiscard]] std::size_t subpopulation_size() const noexcept { return members_count_; }
+    [[nodiscard]] bool complete() const noexcept { return infected_count_ == members_count_; }
+
+    /// Runs under a uniformly random scheduler until every member of V′ is
+    /// infected; returns the number of interactions consumed.
+    [[nodiscard]] StepCount run_to_completion(std::uint64_t seed, StepCount max_steps);
+
+    /// The Lemma-2 tail bound: Pr[not complete after 2⌈n/n′⌉·t steps] ≤ n·e^{−t/n}.
+    /// Returns the bound evaluated at a given step count.
+    [[nodiscard]] double lemma2_failure_bound(StepCount steps) const noexcept;
+
+private:
+    std::size_t n_;
+    std::vector<bool> members_;
+    std::vector<bool> infected_;
+    std::size_t members_count_ = 0;
+    std::size_t infected_count_ = 0;
+};
+
+/// Generic max-propagation component for protocol authors: the idiom "the
+/// larger value wins and both agents carry it onwards" used by every module
+/// of PLL. Kept as a free function so protocol code states intent directly.
+template <typename T>
+constexpr bool propagate_max(T& a, T& b) noexcept {
+    if (a == b) return false;
+    if (a < b) {
+        a = b;
+    } else {
+        b = a;
+    }
+    return true;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,135 @@
+/// \file junta_clock.hpp
+/// \brief Junta-driven phase clock — the *leaderless* synchronisation
+/// substrate of the O(log log n)-state protocols in Table 1 ([GS18],
+/// [GSU18]), provided as a validated mechanism demonstration.
+///
+/// Those protocols cannot wait for a leader (electing one is the whole
+/// problem), so they first elect a *junta*: a small-but-not-unique set of
+/// agents, found in O(log n) time with O(log log n) states, and let every
+/// junta member drive a shared phase clock. We implement the standard
+/// two-part construction:
+///
+///  1. **Junta race** — every agent counts heads (initiator-role coin)
+///     until its first tail, capped at a threshold θ ≈ ⌈lg lg n⌉ + 2.
+///     Agents that reach θ heads in a row join the junta. In expectation
+///     n/2^θ = Θ(n/log n) agents qualify, and at least one does whp.
+///  2. **Clock** — positions live on a ring of `period` Θ(log n) slots.
+///     A junta member advances its own position when it responds in an
+///     interaction; everyone (junta included) adopts positions that are
+///     ahead within half a period. With Θ(n/log n) drivers the clock ticks
+///     at a near-constant parallel rate and the population stays within
+///     half a period whp, giving leaderless Θ(log n)-parallel-time rounds.
+///
+/// PLL's CountUp (Algorithm 2) solves the same problem with O(log n) states
+/// and a simpler analysis; bench_sync measures both side by side.
+///
+/// Output mapping: junta members report Role::leader so the engine's
+/// incremental census counts the junta.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "../core/common.hpp"
+#include "../core/protocol.hpp"
+
+namespace ppsim {
+
+/// Agent state of the junta-driven clock.
+struct JuntaClockState {
+    std::uint16_t position = 0;  ///< ring position
+    std::uint16_t rounds = 0;    ///< completed wraps (junta members only)
+    std::uint8_t level = 0;      ///< heads so far in the junta race
+    bool racing = true;          ///< still flipping?
+    bool junta = false;          ///< qualified as a driver?
+
+    friend constexpr bool operator==(const JuntaClockState&,
+                                     const JuntaClockState&) = default;
+};
+
+/// Leaderless junta-driven phase clock.
+class JuntaPhaseClock {
+public:
+    using State = JuntaClockState;
+
+    /// \param threshold  consecutive heads required to join the junta
+    /// \param period     ring size; Θ(log n) gives whp-regular rounds
+    JuntaPhaseClock(unsigned threshold, unsigned period)
+        : threshold_(threshold), period_(period) {
+        require(threshold >= 1 && threshold <= 30, "junta threshold out of range");
+        require(period >= 4, "clock period must be at least 4");
+    }
+
+    /// θ = ⌈lg lg n⌉ + 2 and period = 8·⌈lg n⌉ + 1. The period is kept odd
+    /// so the cyclic "ahead" relation has no tie at exactly half a period —
+    /// with many drivers a tie would let a stale position drag the front of
+    /// the clock backwards.
+    [[nodiscard]] static JuntaPhaseClock for_population(std::size_t n) {
+        const unsigned lg = ceil_log2(n) < 2 ? 2 : ceil_log2(n);
+        const unsigned lglg = ceil_log2(lg) < 1 ? 1 : ceil_log2(lg);
+        return JuntaPhaseClock(lglg + 2, 8 * lg + 1);
+    }
+
+    [[nodiscard]] State initial_state() const noexcept { return State{}; }
+
+    [[nodiscard]] Role output(const State& s) const noexcept {
+        return s.junta ? Role::leader : Role::follower;
+    }
+
+    void interact(State& a0, State& a1) const noexcept {
+        // Junta race: one coin per interaction per racing agent, by role.
+        if (a0.racing) {
+            ++a0.level;
+            if (a0.level >= threshold_) {
+                a0.junta = true;
+                a0.racing = false;
+            }
+        }
+        if (a1.racing) {
+            a1.racing = false;  // tail: out of the race at its current level
+        }
+
+        // Clock: junta responders advance; everyone adopts ahead positions.
+        if (a1.junta) advance(a1);
+        if (is_ahead(a0.position, a1.position)) {
+            a1.position = a0.position;
+        } else if (is_ahead(a1.position, a0.position)) {
+            a0.position = a1.position;
+        }
+    }
+
+    [[nodiscard]] std::string_view name() const noexcept { return "junta_clock"; }
+
+    [[nodiscard]] std::size_t state_bound() const noexcept {
+        // level × racing × junta × position (rounds is observational).
+        return (threshold_ + 1U) * 2U * 2U * period_;
+    }
+
+    [[nodiscard]] std::uint64_t state_key(const State& s) const noexcept {
+        return (static_cast<std::uint64_t>(s.rounds) << 32U) |
+               (static_cast<std::uint64_t>(s.position) << 8U) |
+               (static_cast<std::uint64_t>(s.level) << 2U) |
+               (static_cast<std::uint64_t>(s.racing) << 1U) |
+               static_cast<std::uint64_t>(s.junta);
+    }
+
+    [[nodiscard]] unsigned threshold() const noexcept { return threshold_; }
+    [[nodiscard]] unsigned period() const noexcept { return period_; }
+
+    /// Cyclic "ahead within half a period".
+    [[nodiscard]] bool is_ahead(std::uint16_t a, std::uint16_t b) const noexcept {
+        const unsigned delta = (a + period_ - b) % period_;
+        return delta != 0 && delta <= period_ / 2;
+    }
+
+private:
+    void advance(State& s) const noexcept {
+        s.position = static_cast<std::uint16_t>((s.position + 1U) % period_);
+        if (s.position == 0) ++s.rounds;
+    }
+
+    unsigned threshold_;
+    unsigned period_;
+};
+
+}  // namespace ppsim

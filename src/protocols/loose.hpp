@@ -1,0 +1,110 @@
+/// \file loose.hpp
+/// \brief Loosely-stabilising leader election (Sudo, Nakamura, Yamauchi,
+/// Ooshita, Kakugawa, Masuzawa — TCS 2012), the paper's reference [Sud+12]
+/// and the origin of its Lemma 2 epidemic bound.
+///
+/// Self-stabilising leader election (recovering from *arbitrary*
+/// configurations, not just the clean initial one) is impossible in the PP
+/// model without knowing n exactly; [Sud+12] relaxes the target: from any
+/// configuration the population reaches a unique-leader configuration within
+/// O(t_max·n) expected interactions and then *holds* it for Ω(e^{t_max})
+/// expected interactions — "loose" stabilisation. The mechanism is a
+/// heartbeat timeout:
+///
+///  * every agent carries timer ∈ {0,…,t_max};
+///  * when two agents meet they both adopt max(timer_u, timer_v) − 1
+///    (the larger-value epidemic, aged by one step);
+///  * a leader resets its own timer to t_max at every interaction;
+///  * an agent whose timer hits 0 suspects the leader died and becomes a
+///    leader itself, resetting its timer;
+///  * two leaders meeting reduce to one (responder drops).
+///
+/// With t_max = Θ(log n) the heartbeat epidemic outruns the timeout w.h.p.
+/// (Lemma 2's race), so a unique leader persists; with no leader, timers
+/// drain in O(t_max) parallel time and a new one appears. The protocol is
+/// *not* stabilising in the strict sense the PODC-2019 paper targets — its
+/// leader changes with tiny probability forever — which is precisely the
+/// trade-off PLL's authors contrast against; tests exercise the recovery
+/// behaviour from adversarial configurations that PLL never has to face.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "../core/common.hpp"
+#include "../core/protocol.hpp"
+
+namespace ppsim {
+
+/// Agent state: output bit + heartbeat timer.
+struct LooseState {
+    std::uint16_t timer = 0;
+    bool leader = false;
+
+    friend constexpr bool operator==(const LooseState&, const LooseState&) = default;
+};
+
+/// Loosely-stabilising leader election with heartbeat timeout t_max.
+class LooselyStabilizing {
+public:
+    using State = LooseState;
+
+    explicit LooselyStabilizing(unsigned t_max) : t_max_(t_max) {
+        require(t_max >= 2 && t_max < 65535, "t_max out of range");
+    }
+
+    /// t_max = 16·⌈lg n⌉ — comfortably above the epidemic horizon.
+    [[nodiscard]] static LooselyStabilizing for_population(std::size_t n) {
+        const unsigned lg = ceil_log2(n) < 2 ? 2 : ceil_log2(n);
+        return LooselyStabilizing(16 * lg);
+    }
+
+    /// The *clean* initial state: non-leader with a drained timer, so the
+    /// first timeout bootstraps a leader. Loose stabilisation is really
+    /// about arbitrary states — tests seed those directly.
+    [[nodiscard]] State initial_state() const noexcept { return State{}; }
+
+    [[nodiscard]] Role output(const State& s) const noexcept {
+        return s.leader ? Role::leader : Role::follower;
+    }
+
+    void interact(State& a0, State& a1) const noexcept {
+        // Heartbeat epidemic, aged by one.
+        const std::uint16_t shared = std::max(a0.timer, a1.timer);
+        const auto aged = static_cast<std::uint16_t>(shared > 0 ? shared - 1 : 0);
+        a0.timer = aged;
+        a1.timer = aged;
+        // Leaders re-arm the heartbeat.
+        if (a0.leader) a0.timer = static_cast<std::uint16_t>(t_max_);
+        if (a1.leader) a1.timer = static_cast<std::uint16_t>(t_max_);
+        // Timeout: a drained follower suspects leader loss and steps up.
+        if (!a0.leader && a0.timer == 0) {
+            a0.leader = true;
+            a0.timer = static_cast<std::uint16_t>(t_max_);
+        }
+        if (!a1.leader && a1.timer == 0) {
+            a1.leader = true;
+            a1.timer = static_cast<std::uint16_t>(t_max_);
+        }
+        // Fratricide keeps the leader count falling back towards one.
+        if (a0.leader && a1.leader) a1.leader = false;
+    }
+
+    [[nodiscard]] std::string_view name() const noexcept { return "loose_sud12"; }
+
+    [[nodiscard]] std::size_t state_bound() const noexcept {
+        return (static_cast<std::size_t>(t_max_) + 1U) * 2U;
+    }
+
+    [[nodiscard]] std::uint64_t state_key(const State& s) const noexcept {
+        return (static_cast<std::uint64_t>(s.timer) << 1U) |
+               static_cast<std::uint64_t>(s.leader);
+    }
+
+    [[nodiscard]] unsigned t_max() const noexcept { return t_max_; }
+
+private:
+    unsigned t_max_;
+};
+
+}  // namespace ppsim

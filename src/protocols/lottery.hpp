@@ -1,0 +1,106 @@
+/// \file lottery.hpp
+/// \brief The geometric-lottery protocol in the style of Alistarh, Aspnes,
+/// Eisenstat, Gelashvili and Rivest (SODA 2017), as the PODC-2019 paper
+/// describes it in §3.1.1 — the ancestor of PLL's QuickElimination module.
+///
+/// Every agent plays the geometric game: flip fair coins until the first
+/// tail, record the number of heads as `level` (coin = the agent's role in
+/// an interaction: initiator = head, responder = tail, the "simple
+/// simulation" of §3.1.1). The maximum level spreads by one-way epidemic and
+/// lower-level agents drop out. Ties at the maximum are resolved by the slow
+/// constant-space rule (responder of a leader-leader meeting drops).
+///
+/// The protocol is deliberately *without* PLL's Tournament and BackUp
+/// modules: with probability p_i ≤ 2^{1−i} exactly i ≥ 2 agents survive the
+/// lottery, and those survivors then need Θ(n) parallel time to meet — so
+/// the measured expected time is Θ(log n) + Θ(P(tie) · n). Benchmarks use it
+/// to show precisely why PLL adds the two extra modules (and it stands in
+/// for the lottery-family row of Table 1; the full [Ali+17] protocol layers
+/// more rounds on the same mechanism to push the tie cost into
+/// polylogarithmic territory).
+///
+/// States: level ∈ {0,…,lmax} × done × leader ⇒ O(log n) states for
+/// lmax = Θ(log n) (level exceeds c·lg n with probability ≤ n^{−c}).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "../core/common.hpp"
+#include "../core/protocol.hpp"
+
+namespace ppsim {
+
+/// Agent state of the lottery protocol.
+struct LotteryState {
+    std::uint16_t level = 0;  ///< heads before the first tail (epidemic max)
+    bool done = false;        ///< observed the first tail?
+    bool leader = true;
+
+    friend constexpr bool operator==(const LotteryState&, const LotteryState&) = default;
+};
+
+/// Geometric lottery + max epidemic + slow tie-break.
+class Lottery {
+public:
+    using State = LotteryState;
+
+    /// \param lmax  level cap, Θ(log n); PLL uses 5m and so do we by default.
+    explicit Lottery(unsigned lmax) : lmax_(lmax) {
+        require(lmax >= 1, "lottery requires lmax >= 1");
+    }
+
+    [[nodiscard]] static Lottery for_population(std::size_t n) {
+        const unsigned m = ceil_log2(n) < 2 ? 2 : ceil_log2(n);
+        return Lottery(5 * m);
+    }
+
+    [[nodiscard]] State initial_state() const noexcept { return State{}; }
+
+    [[nodiscard]] Role output(const State& s) const noexcept {
+        return s.leader ? Role::leader : Role::follower;
+    }
+
+    void interact(State& a0, State& a1) const noexcept {
+        // Coin flips by interaction role: the initiator sees a head, the
+        // responder a tail. Both agents flip in the same interaction (the
+        // §3.1.1 "simple simulation"; flips of the two parties are
+        // anti-correlated across one step, which the whp analysis absorbs).
+        if (!a0.done) {
+            a0.level = a0.level + 1U >= lmax_ ? static_cast<std::uint16_t>(lmax_)
+                                              : static_cast<std::uint16_t>(a0.level + 1U);
+        }
+        if (!a1.done) a1.done = true;
+
+        // One-way epidemic of the maximum finished level; lower finished
+        // agents leave the race.
+        if (a0.done && a1.done && a0.level != a1.level) {
+            State& smaller = a0.level < a1.level ? a0 : a1;
+            const State& larger = a0.level < a1.level ? a1 : a0;
+            smaller.level = larger.level;
+            smaller.leader = false;
+        }
+
+        // Slow tie-break (the [Ang+06] rule) for survivors at equal level.
+        if (a0.done && a1.done && a0.leader && a1.leader) a1.leader = false;
+    }
+
+    [[nodiscard]] std::string_view name() const noexcept { return "lottery"; }
+
+    [[nodiscard]] std::uint64_t state_key(const State& s) const noexcept {
+        return (static_cast<std::uint64_t>(s.level) << 2U) |
+               (static_cast<std::uint64_t>(s.done) << 1U) |
+               static_cast<std::uint64_t>(s.leader);
+    }
+
+    [[nodiscard]] std::size_t state_bound() const noexcept {
+        return (static_cast<std::size_t>(lmax_) + 1U) * 2U * 2U;
+    }
+
+    [[nodiscard]] unsigned lmax() const noexcept { return lmax_; }
+
+private:
+    unsigned lmax_;
+};
+
+}  // namespace ppsim

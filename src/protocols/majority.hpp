@@ -1,0 +1,117 @@
+/// \file majority.hpp
+/// \brief Exact-majority population protocol — the second canonical problem
+/// of the PP model, included to show the simulation substrate generalises
+/// beyond leader election (and because the paper's Table-1 neighbours
+/// [AAG18] study exactly this problem).
+///
+/// The four-state exact-majority protocol (Draief–Vojnović / Mertzios et
+/// al.): agents start with opinion A or B in a *strong* state; strong
+/// opposites annihilate to weak states, strong agents convert weak
+/// opposites, and weak agents adopt any strong opinion they meet. With an
+/// initial margin of one the output is still correct with probability 1 —
+/// the protocol computes exact majority, in O(n log n) expected interactions
+/// for constant relative margins.
+///
+/// Output mapping: the engine's Role output reports opinion A as `leader`
+/// and opinion B as `follower`, so the incremental leader count doubles as
+/// the live census of opinion-A supporters. Convergence for majority is
+/// *consensus* (everyone outputs the same opinion), checked with
+/// `majority_consensus_reached`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "../core/common.hpp"
+#include "../core/engine.hpp"
+#include "../core/protocol.hpp"
+
+namespace ppsim {
+
+/// Opinion-state of the four-state exact-majority protocol.
+enum class MajorityOpinion : std::uint8_t {
+    strong_a = 0,
+    strong_b = 1,
+    weak_a = 2,
+    weak_b = 3,
+};
+
+struct MajorityState {
+    MajorityOpinion opinion = MajorityOpinion::strong_a;
+
+    friend constexpr bool operator==(const MajorityState&, const MajorityState&) = default;
+};
+
+/// Four-state exact majority. The initial configuration is *not* uniform
+/// (agents start with their input opinion), so populations are seeded via
+/// `seed_inputs` rather than `initial_state()` alone.
+class ExactMajority {
+public:
+    using State = MajorityState;
+
+    /// Agents default to strong A; seed_inputs() overwrites with real inputs.
+    [[nodiscard]] State initial_state() const noexcept { return State{}; }
+
+    /// Output: current opinion (A ⇒ leader, B ⇒ follower; see header note).
+    [[nodiscard]] Role output(const State& s) const noexcept {
+        return s.opinion == MajorityOpinion::strong_a ||
+                       s.opinion == MajorityOpinion::weak_a
+                   ? Role::leader
+                   : Role::follower;
+    }
+
+    void interact(State& a0, State& a1) const noexcept {
+        const bool a0_strong = is_strong(a0);
+        const bool a1_strong = is_strong(a1);
+        const bool a0_a = is_a(a0);
+        const bool a1_a = is_a(a1);
+        if (a0_strong && a1_strong && a0_a != a1_a) {
+            // Strong opposites annihilate into opposing weak states: the
+            // pair's net contribution to the A−B margin stays zero.
+            a0.opinion = a0_a ? MajorityOpinion::weak_a : MajorityOpinion::weak_b;
+            a1.opinion = a1_a ? MajorityOpinion::weak_a : MajorityOpinion::weak_b;
+        } else if (a0_strong && !a1_strong && a0_a != a1_a) {
+            a1.opinion = a0_a ? MajorityOpinion::weak_a : MajorityOpinion::weak_b;
+        } else if (a1_strong && !a0_strong && a0_a != a1_a) {
+            a0.opinion = a1_a ? MajorityOpinion::weak_a : MajorityOpinion::weak_b;
+        }
+    }
+
+    [[nodiscard]] std::string_view name() const noexcept { return "exact_majority"; }
+
+    [[nodiscard]] std::size_t state_bound() const noexcept { return 4; }
+
+    [[nodiscard]] std::uint64_t state_key(const State& s) const noexcept {
+        return static_cast<std::uint64_t>(s.opinion);
+    }
+
+    // --- helpers --------------------------------------------------------------
+
+    [[nodiscard]] static bool is_strong(const State& s) noexcept {
+        return s.opinion == MajorityOpinion::strong_a ||
+               s.opinion == MajorityOpinion::strong_b;
+    }
+    [[nodiscard]] static bool is_a(const State& s) noexcept {
+        return s.opinion == MajorityOpinion::strong_a ||
+               s.opinion == MajorityOpinion::weak_a;
+    }
+
+    /// Seeds a population with `a_count` strong-A agents and the rest
+    /// strong-B (inputs of the majority problem).
+    static void seed_inputs(Population<State>& population, std::size_t a_count) {
+        require(a_count <= population.size(), "more A inputs than agents");
+        for (std::size_t i = 0; i < population.size(); ++i) {
+            population[static_cast<AgentId>(i)].opinion =
+                i < a_count ? MajorityOpinion::strong_a : MajorityOpinion::strong_b;
+        }
+    }
+};
+
+/// True when every agent currently outputs the same opinion.
+template <typename EngineT>
+[[nodiscard]] bool majority_consensus_reached(const EngineT& engine) {
+    const std::size_t a_supporters = engine.leader_count();
+    return a_supporters == 0 || a_supporters == engine.population_size();
+}
+
+}  // namespace ppsim

@@ -1,0 +1,113 @@
+/// \file phase_clock.hpp
+/// \brief The leader-driven phase clock of Angluin, Aspnes and Eisenstat
+/// (2008) — the constant-space synchronisation substrate that the
+/// O(log log n)-state protocols cited in Table 1 ([GS18], [GSU18]) build on.
+///
+/// PLL deliberately avoids phase clocks: with O(log n) states available its
+/// CountUp timer (Algorithm 2) is simpler. We still provide the clock as a
+/// validated substrate: (a) it documents the design space PLL positions
+/// itself against, and (b) downstream users composing their own protocols
+/// need a leader-driven synchroniser once a leader exists.
+///
+/// Mechanism: every agent holds a phase position p ∈ {0,…,period−1}. When a
+/// *marked* agent (the leader) is the responder of an interaction, it
+/// advances its own position; an unmarked responder adopts the initiator's
+/// position when the initiator is ahead (positions compared cyclically
+/// within half a period). A full wrap of the leader's position is one
+/// "round" and takes Θ(n log n) interactions w.h.p. for period ≥ c·log n —
+/// measured by bench_sync alongside PLL's CountUp.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "../core/common.hpp"
+#include "../core/protocol.hpp"
+
+namespace ppsim {
+
+/// Agent state of the phase clock.
+struct PhaseClockState {
+    std::uint16_t position = 0;
+    std::uint16_t rounds = 0;  ///< completed wraps (observable progress)
+    bool marked = false;       ///< the clock driver (a unique leader)
+
+    friend constexpr bool operator==(const PhaseClockState&, const PhaseClockState&) = default;
+};
+
+/// Leader-driven phase clock. Not a leader-election protocol — output() maps
+/// the marked driver to Role::leader so engines can host it, but its purpose
+/// is the synchronised `rounds` counter. The driver is designated by seeding
+/// one marked agent via `driver_state()` (population setup, not transition).
+class LeaderPhaseClock {
+public:
+    using State = PhaseClockState;
+
+    /// \param period  positions per round; Θ(log n) gives whp-regular rounds.
+    explicit LeaderPhaseClock(unsigned period) : period_(period) {
+        require(period >= 4, "phase clock period must be at least 4");
+    }
+
+    [[nodiscard]] static LeaderPhaseClock for_population(std::size_t n) {
+        const unsigned lg = ceil_log2(n) < 2 ? 2 : ceil_log2(n);
+        return LeaderPhaseClock(8 * lg);
+    }
+
+    [[nodiscard]] State initial_state() const noexcept { return State{}; }
+
+    /// State for the designated driver agent (set population[0] to this).
+    [[nodiscard]] State driver_state() const noexcept {
+        State s;
+        s.marked = true;
+        return s;
+    }
+
+    [[nodiscard]] Role output(const State& s) const noexcept {
+        return s.marked ? Role::leader : Role::follower;
+    }
+
+    void interact(State& a0, State& a1) const noexcept {
+        if (a1.marked) {
+            // The driver advances only when it is the responder: this paces
+            // one driver step per ~n/2 interactions in expectation.
+            advance(a1);
+        } else if (is_ahead(a0.position, a1.position)) {
+            a1.position = a0.position;
+            // Followers inherit round parity through position wrap detection
+            // handled by the driver only; rounds on followers lag by design.
+        }
+        if (!a0.marked && is_ahead(a1.position, a0.position)) {
+            a0.position = a1.position;
+        }
+    }
+
+    [[nodiscard]] std::string_view name() const noexcept { return "phase_clock"; }
+
+    [[nodiscard]] std::uint64_t state_key(const State& s) const noexcept {
+        return (static_cast<std::uint64_t>(s.rounds) << 24U) |
+               (static_cast<std::uint64_t>(s.position) << 1U) |
+               static_cast<std::uint64_t>(s.marked);
+    }
+
+    [[nodiscard]] std::size_t state_bound() const noexcept {
+        return static_cast<std::size_t>(period_) * 2U;  // position × marked
+    }
+
+    [[nodiscard]] unsigned period() const noexcept { return period_; }
+
+    /// Cyclic "strictly ahead within half a period" comparison.
+    [[nodiscard]] bool is_ahead(std::uint16_t a, std::uint16_t b) const noexcept {
+        const unsigned delta = (a + period_ - b) % period_;
+        return delta != 0 && delta <= period_ / 2;
+    }
+
+private:
+    void advance(State& s) const noexcept {
+        s.position = static_cast<std::uint16_t>((s.position + 1U) % period_);
+        if (s.position == 0) ++s.rounds;
+    }
+
+    unsigned period_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,87 @@
+/// \file pll_census.hpp
+/// \brief Introspection over a PLL population: per-group censuses, level
+/// distributions and a rendered snapshot — the debugging/teaching view of a
+/// running election (used by the anatomy example and the sync estimators).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "../core/common.hpp"
+#include "pll.hpp"
+
+namespace ppsim {
+
+/// A snapshot of the aggregate state of a PLL population.
+struct PllCensus {
+    std::size_t agents = 0;
+    std::size_t leaders = 0;
+    std::size_t unassigned = 0;                ///< |VX|
+    std::size_t candidates = 0;                ///< |VA|
+    std::size_t timers = 0;                    ///< |VB|
+    std::array<std::size_t, 4> by_epoch{};     ///< epoch 1..4 populations
+    std::array<std::size_t, 3> by_color{};     ///< colour 0..2 populations
+    std::size_t lottery_playing = 0;           ///< VA∩V1 leaders with done=false
+    std::uint16_t max_level_q = 0;             ///< max levelQ over VA∩V1
+    std::uint16_t max_rand = 0;                ///< max finished nonce over VA∩(V2∪V3)
+    std::uint16_t max_level_b = 0;             ///< max levelB over VA∩V4
+    /// Lowest epoch any agent is still in — the population's lagging edge.
+    unsigned min_epoch = 1;
+    /// Highest epoch any agent reached — the population's leading edge.
+    unsigned max_epoch = 1;
+};
+
+/// Computes the census of a PLL population (O(n)).
+[[nodiscard]] inline PllCensus take_census(std::span<const PllState> states) {
+    PllCensus census;
+    census.agents = states.size();
+    census.min_epoch = 4;
+    census.max_epoch = 1;
+    for (const PllState& s : states) {
+        census.leaders += s.leader ? 1 : 0;
+        switch (s.status) {
+            case PllStatus::x: ++census.unassigned; break;
+            case PllStatus::a: ++census.candidates; break;
+            case PllStatus::b: ++census.timers; break;
+        }
+        ++census.by_epoch[s.epoch - 1U];
+        ++census.by_color[s.color];
+        census.min_epoch = std::min<unsigned>(census.min_epoch, s.epoch);
+        census.max_epoch = std::max<unsigned>(census.max_epoch, s.epoch);
+        if (s.status == PllStatus::a) {
+            if (s.epoch == 1) {
+                if (s.leader && !s.done) ++census.lottery_playing;
+                census.max_level_q = std::max(census.max_level_q, s.level_q);
+            } else if (s.epoch == 2 || s.epoch == 3) {
+                census.max_rand = std::max(census.max_rand, s.rand);
+            } else {
+                census.max_level_b = std::max(census.max_level_b, s.level_b);
+            }
+        }
+    }
+    if (census.agents == 0) census.min_epoch = 1;
+    return census;
+}
+
+/// One-line rendering for timeline traces:
+/// "epoch 1..2 | L=17 | colors 312/200/0 | maxQ=6".
+[[nodiscard]] inline std::string render_census_line(const PllCensus& c) {
+    std::string out = "epoch " + std::to_string(c.min_epoch);
+    if (c.max_epoch != c.min_epoch) out += ".." + std::to_string(c.max_epoch);
+    out += " | leaders=" + std::to_string(c.leaders);
+    out += " | colors " + std::to_string(c.by_color[0]) + "/" +
+           std::to_string(c.by_color[1]) + "/" + std::to_string(c.by_color[2]);
+    if (c.by_epoch[0] > 0) {
+        out += " | maxQ=" + std::to_string(c.max_level_q) + " playing=" +
+               std::to_string(c.lottery_playing);
+    }
+    if (c.by_epoch[1] + c.by_epoch[2] > 0) {
+        out += " | maxRand=" + std::to_string(c.max_rand);
+    }
+    if (c.by_epoch[3] > 0) out += " | maxB=" + std::to_string(c.max_level_b);
+    return out;
+}
+
+}  // namespace ppsim

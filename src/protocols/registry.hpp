@@ -1,0 +1,100 @@
+/// \file registry.hpp
+/// \brief Runtime registry of the library's leader-election protocols:
+/// name → factory + metadata, backing the examples, the experiment driver
+/// and the Table-1 bench.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../core/engine.hpp"
+#include "../core/protocol.hpp"
+
+namespace ppsim {
+
+/// Static facts about a protocol, used for the Table-1 comparison rows.
+struct ProtocolInfo {
+    std::string name;           ///< registry key, e.g. "pll"
+    std::string citation;       ///< paper the row corresponds to
+    std::string theory_states;  ///< asymptotic state count claimed there
+    std::string theory_time;    ///< asymptotic expected stabilisation time
+};
+
+/// Registry of runnable protocols. Each entry can (a) run a full election on
+/// the fast templated engine and (b) hand out a type-erased instance for
+/// state-space analysis. Protocols are instantiated per population size
+/// (they are non-uniform, exactly as in the paper: PLL receives m).
+class ProtocolRegistry {
+public:
+    /// The process-wide registry with all built-in protocols registered.
+    [[nodiscard]] static const ProtocolRegistry& instance();
+
+    /// Registered protocol names, in registration order.
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    [[nodiscard]] bool contains(const std::string& name) const;
+
+    /// Metadata for a registered protocol; throws on unknown names.
+    [[nodiscard]] const ProtocolInfo& info(const std::string& name) const;
+
+    /// Runs a full election of `name` on n agents with the given seed using
+    /// the fast templated engine. `max_steps` bounds the run.
+    [[nodiscard]] RunResult run_election(const std::string& name, std::size_t n,
+                                         std::uint64_t seed, StepCount max_steps) const;
+
+    /// As run_election, but additionally verifies output stability over
+    /// `verify_steps` extra interactions; sets `converged = false` if any
+    /// output changed after the detected stabilisation point.
+    [[nodiscard]] RunResult run_election_verified(const std::string& name, std::size_t n,
+                                                  std::uint64_t seed, StepCount max_steps,
+                                                  StepCount verify_steps) const;
+
+    /// Type-erased instance for population size n (state-space counting).
+    [[nodiscard]] std::unique_ptr<AnyProtocol> make(const std::string& name,
+                                                    std::size_t n) const;
+
+    /// Registers a custom protocol (used by the custom-protocol example).
+    /// `factory` receives the population size.
+    template <typename Factory>
+    void register_protocol(ProtocolInfo info, Factory factory) {
+        using P = decltype(factory(std::size_t{2}));
+        static_assert(Protocol<P>, "factory must produce a Protocol");
+        Entry entry;
+        entry.info = std::move(info);
+        entry.run = [factory](std::size_t n, std::uint64_t seed, StepCount max_steps,
+                              StepCount verify_steps) {
+            Engine<P> engine(factory(n), n, seed);
+            RunResult result = engine.run_until_one_leader(max_steps);
+            if (verify_steps > 0 && result.converged) {
+                if (!engine.verify_outputs_stable(verify_steps)) result.converged = false;
+                result.steps = engine.steps();
+                result.parallel_time = to_parallel_time(engine.steps(), n);
+                result.leader_count = engine.leader_count();
+            }
+            return result;
+        };
+        entry.make = [factory](std::size_t n) { return erase_protocol(factory(n)); };
+        entries_.push_back(std::move(entry));
+    }
+
+    ProtocolRegistry() = default;
+
+private:
+    struct Entry {
+        ProtocolInfo info;
+        std::function<RunResult(std::size_t, std::uint64_t, StepCount, StepCount)> run;
+        std::function<std::unique_ptr<AnyProtocol>(std::size_t)> make;
+    };
+
+    [[nodiscard]] const Entry& entry(const std::string& name) const;
+
+    std::vector<Entry> entries_;
+};
+
+/// Table-1 rows for protocols whose full reproduction is out of scope (see
+/// DESIGN.md): reported from the paper, marked unmeasured in the bench.
+[[nodiscard]] std::vector<ProtocolInfo> unimplemented_table1_rows();
+
+}  // namespace ppsim

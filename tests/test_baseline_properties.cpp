@@ -1,0 +1,124 @@
+// Property tests for the baseline protocols: per-agent monotonicity and
+// absorbing-state invariants over long random executions (the counterparts
+// of test_pll_properties.cpp for the simpler protocols).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/stats.hpp"
+#include "protocols/lottery.hpp"
+#include "protocols/mst.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(LotteryProperties, InvariantsHoldOverRandomExecutions) {
+    const std::size_t n = 128;
+    Engine<Lottery> engine(Lottery::for_population(n), n, 11);
+    const unsigned lmax = engine.protocol().lmax();
+
+    std::vector<bool> was_done(n, false);
+    std::vector<bool> was_follower(n, false);
+    std::vector<std::uint16_t> prev_level(n, 0);
+
+    for (StepCount step = 0; step < 500'000; ++step) {
+        const Interaction ia = engine.step();
+        for (const AgentId id : {ia.initiator, ia.responder}) {
+            const LotteryState& s = engine.population()[id];
+            ASSERT_LE(s.level, lmax);
+            // done is absorbing.
+            if (was_done[id]) ASSERT_TRUE(s.done);
+            was_done[id] = was_done[id] || s.done;
+            // followers never regain leadership.
+            if (was_follower[id]) ASSERT_FALSE(s.leader);
+            was_follower[id] = was_follower[id] || !s.leader;
+            // levels are monotone non-decreasing (flips and epidemic only
+            // ever raise them).
+            ASSERT_GE(s.level, prev_level[id]);
+            prev_level[id] = s.level;
+        }
+        ASSERT_GE(engine.leader_count(), 1U);
+    }
+}
+
+TEST(MstProperties, InvariantsHoldOverRandomExecutions) {
+    const std::size_t n = 128;
+    Engine<MstStyle> engine(MstStyle::for_population(n), n, 13);
+    const unsigned bits = engine.protocol().bits();
+
+    std::vector<bool> was_follower(n, false);
+    std::vector<std::uint8_t> prev_index(n, 0);
+    std::vector<std::uint64_t> prev_nonce(n, 0);
+
+    for (StepCount step = 0; step < 500'000; ++step) {
+        const Interaction ia = engine.step();
+        for (const AgentId id : {ia.initiator, ia.responder}) {
+            const MstState& s = engine.population()[id];
+            ASSERT_LE(s.index, bits);
+            ASSERT_LT(s.nonce, std::uint64_t{1} << (bits + 1));
+            if (was_follower[id]) ASSERT_FALSE(s.leader);
+            was_follower[id] = was_follower[id] || !s.leader;
+            // The flip counter is monotone; once finished, the nonce can
+            // only grow (epidemic max adoption).
+            ASSERT_GE(s.index, prev_index[id]);
+            if (prev_index[id] == bits) ASSERT_GE(s.nonce, prev_nonce[id]);
+            prev_index[id] = s.index;
+            prev_nonce[id] = s.nonce;
+        }
+        ASSERT_GE(engine.leader_count(), 1U);
+    }
+}
+
+TEST(MstProperties, FinishedMaxHolderIsNeverEliminated) {
+    const std::size_t n = 64;
+    Engine<MstStyle> engine(MstStyle::for_population(n), n, 17);
+    for (StepCount step = 0; step < 300'000; ++step) {
+        engine.step();
+        if (step % 128 != 0) continue;
+        // Among finished agents, some leader must hold the global max nonce
+        // (the absorbing argument for the wide-nonce protocol).
+        std::uint64_t max_nonce = 0;
+        bool any_finished = false;
+        for (const MstState& s : engine.population().states()) {
+            if (s.index == engine.protocol().bits()) {
+                any_finished = true;
+                max_nonce = std::max(max_nonce, s.nonce);
+            }
+        }
+        if (!any_finished) continue;
+        bool leader_at_max = false;
+        for (const MstState& s : engine.population().states()) {
+            if (s.leader && s.index == engine.protocol().bits() &&
+                s.nonce == max_nonce) {
+                leader_at_max = true;
+            }
+        }
+        // Unfinished leaders may still exist early; once anyone finished,
+        // the max-holding finished agent that is still a leader must exist
+        // unless *all* leaders are still drawing.
+        bool all_leaders_drawing = true;
+        for (const MstState& s : engine.population().states()) {
+            if (s.leader && s.index == engine.protocol().bits()) {
+                all_leaders_drawing = false;
+            }
+        }
+        if (!all_leaders_drawing) {
+            ASSERT_TRUE(leader_at_max) << "finished max nonce held by no leader";
+        }
+    }
+}
+
+TEST(SampleSetSpanAdd, MergesBatches) {
+    SampleSet s;
+    const std::vector<double> batch{3.0, 1.0, 2.0};
+    s.add(std::span<const double>(batch));
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 4U);
+    EXPECT_DOUBLE_EQ(s.median(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+}  // namespace
+}  // namespace ppsim

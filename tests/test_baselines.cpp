@@ -1,0 +1,236 @@
+// Tests for the Table-1 baseline protocols: Angluin06, the geometric
+// lottery, and the MST18-style wide-nonce protocol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "protocols/angluin.hpp"
+#include "protocols/lottery.hpp"
+#include "protocols/mst.hpp"
+
+namespace ppsim {
+namespace {
+
+// --- Angluin06 -----------------------------------------------------------------
+
+TEST(Angluin, TransitionRule) {
+    const Angluin proto;
+    AngluinState l0;
+    AngluinState l1;
+    proto.interact(l0, l1);
+    EXPECT_TRUE(l0.leader);   // L×L → L×F
+    EXPECT_FALSE(l1.leader);
+    AngluinState f = l1;
+    proto.interact(f, l0);  // F×L unchanged
+    EXPECT_FALSE(f.leader);
+    EXPECT_TRUE(l0.leader);
+    AngluinState f2;
+    f2.leader = false;
+    proto.interact(f, f2);  // F×F unchanged
+    EXPECT_FALSE(f.leader);
+    EXPECT_FALSE(f2.leader);
+}
+
+TEST(Angluin, LeaderCountIsNonIncreasingAndPositive) {
+    Engine<Angluin> engine(Angluin{}, 100, 5);
+    std::size_t prev = engine.leader_count();
+    for (int i = 0; i < 50'000; ++i) {
+        engine.step();
+        const std::size_t now = engine.leader_count();
+        ASSERT_LE(now, prev);
+        ASSERT_GE(now, 1U);
+        prev = now;
+    }
+}
+
+class AngluinElection : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AngluinElection, Elects) {
+    const std::size_t n = GetParam();
+    Engine<Angluin> engine(Angluin{}, n, 7 + n);
+    const auto budget = static_cast<StepCount>(60.0 * n * n);
+    const RunResult result = engine.run_until_one_leader(budget);
+    ASSERT_TRUE(result.converged);
+    EXPECT_TRUE(engine.verify_outputs_stable(10 * static_cast<StepCount>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AngluinElection, ::testing::Values(2, 3, 10, 64, 256));
+
+TEST(Angluin, StateAccounting) {
+    const Angluin proto;
+    EXPECT_EQ(proto.state_bound(), 2U);
+    AngluinState l;
+    AngluinState f;
+    f.leader = false;
+    EXPECT_NE(proto.state_key(l), proto.state_key(f));
+}
+
+// --- the geometric lottery ---------------------------------------------------------
+
+TEST(Lottery, CoinsByRole) {
+    const Lottery proto(10);
+    LotteryState a;
+    LotteryState b;
+    proto.interact(a, b);
+    // Initiator sees a head (level 1, still playing); responder sees its
+    // first tail (done at level 0).
+    EXPECT_EQ(a.level, 1);
+    EXPECT_FALSE(a.done);
+    EXPECT_TRUE(b.done);
+    EXPECT_EQ(b.level, 0);
+}
+
+TEST(Lottery, EpidemicEliminatesLowerFinished) {
+    const Lottery proto(10);
+    LotteryState low;
+    low.done = true;
+    low.level = 1;
+    LotteryState high;
+    high.done = true;
+    high.level = 4;
+    proto.interact(low, high);
+    EXPECT_FALSE(low.leader);
+    EXPECT_EQ(low.level, 4);
+    EXPECT_TRUE(high.leader);
+}
+
+TEST(Lottery, UnfinishedAgentIsProtected) {
+    const Lottery proto(10);
+    LotteryState playing;  // not done
+    playing.level = 2;
+    LotteryState high;
+    high.done = true;
+    high.level = 9;
+    proto.interact(high, playing);
+    // playing responds ⇒ tail finishes it at level 2 < 9 ⇒ now eliminated
+    // in the same interaction, exactly like PLL's final-flip exposure.
+    EXPECT_TRUE(playing.done);
+    EXPECT_FALSE(playing.leader);
+    // But as initiator (head), it stays unfinished and protected:
+    LotteryState playing2;
+    playing2.level = 2;
+    LotteryState high2;
+    high2.done = true;
+    high2.level = 9;
+    proto.interact(playing2, high2);
+    EXPECT_FALSE(playing2.done);
+    EXPECT_TRUE(playing2.leader);
+    EXPECT_EQ(playing2.level, 3);
+}
+
+TEST(Lottery, TieBreakDropsResponder) {
+    const Lottery proto(10);
+    LotteryState u;
+    u.done = true;
+    u.level = 5;
+    LotteryState v;
+    v.done = true;
+    v.level = 5;
+    proto.interact(u, v);
+    EXPECT_TRUE(u.leader);
+    EXPECT_FALSE(v.leader);
+}
+
+TEST(Lottery, LevelSaturates) {
+    const Lottery proto(4);
+    LotteryState a;
+    a.level = 4;
+    LotteryState b;
+    b.done = true;
+    b.level = 4;
+    proto.interact(a, b);
+    EXPECT_EQ(a.level, 4);
+}
+
+class LotteryElection : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LotteryElection, Elects) {
+    const std::size_t n = GetParam();
+    Engine<Lottery> engine(Lottery::for_population(n), n, 11 + n);
+    // Ties push the expected time towards O(n); budget accordingly.
+    const auto budget = static_cast<StepCount>(80.0 * n * n + 1000);
+    const RunResult result = engine.run_until_one_leader(budget);
+    ASSERT_TRUE(result.converged);
+    EXPECT_TRUE(engine.verify_outputs_stable(10 * static_cast<StepCount>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LotteryElection, ::testing::Values(2, 3, 16, 128, 512));
+
+TEST(Lottery, StateBoundIsLogarithmic) {
+    const Lottery proto = Lottery::for_population(1024);
+    // lmax = 5·⌈lg 1024⌉ = 50 ⇒ 51 levels × done × leader.
+    EXPECT_EQ(proto.lmax(), 50U);
+    EXPECT_EQ(proto.state_bound(), 51U * 4U);
+}
+
+// --- MST18-style ----------------------------------------------------------------------
+
+TEST(MstStyle, NonceBitsByRole) {
+    const MstStyle proto(4);
+    MstState a;
+    MstState b;
+    proto.interact(a, b);
+    EXPECT_EQ(a.nonce, 0b1U);  // initiator appends 1
+    EXPECT_EQ(b.nonce, 0b0U);  // responder appends 0
+    EXPECT_EQ(a.index, 1);
+    proto.interact(b, a);
+    EXPECT_EQ(a.nonce, 0b10U);
+    EXPECT_EQ(b.nonce, 0b01U);
+}
+
+TEST(MstStyle, EpidemicAfterCompletionOnly) {
+    const MstStyle proto(2);
+    MstState done_low;
+    done_low.index = 2;
+    done_low.nonce = 1;
+    MstState done_high;
+    done_high.index = 2;
+    done_high.nonce = 3;
+    MstState fresh;
+    // fresh (index 0) vs done: no comparison yet — but the flip happens.
+    proto.interact(fresh, done_high);
+    EXPECT_TRUE(fresh.leader);
+    EXPECT_EQ(fresh.index, 1);
+    // done vs done: lower side eliminated.
+    proto.interact(done_low, done_high);
+    EXPECT_FALSE(done_low.leader);
+    EXPECT_EQ(done_low.nonce, 3U);
+}
+
+TEST(MstStyle, TieBreakDropsResponder) {
+    const MstStyle proto(2);
+    MstState u;
+    u.index = 2;
+    u.nonce = 3;
+    MstState v;
+    v.index = 2;
+    v.nonce = 3;
+    proto.interact(u, v);
+    EXPECT_TRUE(u.leader);
+    EXPECT_FALSE(v.leader);
+}
+
+TEST(MstStyle, WidthValidation) {
+    EXPECT_THROW(MstStyle(0), InvalidArgument);
+    EXPECT_THROW(MstStyle(57), InvalidArgument);
+    // 3·20 + 3 = 63 exceeds the 56-bit cap.
+    EXPECT_EQ(MstStyle::for_population(1U << 20U).bits(), 56U);
+}
+
+class MstElection : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MstElection, Elects) {
+    const std::size_t n = GetParam();
+    Engine<MstStyle> engine(MstStyle::for_population(n), n, 13 + n);
+    const double lg = std::max(1.0, std::log2(static_cast<double>(n)));
+    const auto budget = static_cast<StepCount>(500.0 * n * lg + 60.0 * n * n);
+    const RunResult result = engine.run_until_one_leader(budget);
+    ASSERT_TRUE(result.converged);
+    EXPECT_TRUE(engine.verify_outputs_stable(10 * static_cast<StepCount>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MstElection, ::testing::Values(2, 3, 16, 128, 1024));
+
+}  // namespace
+}  // namespace ppsim

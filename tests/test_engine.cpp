@@ -1,0 +1,163 @@
+// Unit and integration tests for the simulation engine (src/core/engine.hpp)
+// using the two-state Angluin protocol as the simplest host.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "core/population.hpp"
+#include "core/thread_pool.hpp"
+#include "protocols/angluin.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(Population, ConstructsAndResets) {
+    Population<int> pop(4, 7);
+    EXPECT_EQ(pop.size(), 4U);
+    EXPECT_EQ(pop[2], 7);
+    pop[2] = 9;
+    EXPECT_EQ(pop.count_if([](int x) { return x == 9; }), 1U);
+    pop.reset(1);
+    EXPECT_EQ(pop.count_if([](int x) { return x == 1; }), 4U);
+    EXPECT_THROW(Population<int>(1, 0), InvalidArgument);
+}
+
+TEST(Engine, StartsWithAllLeaders) {
+    Engine<Angluin> engine(Angluin{}, 10, 1);
+    EXPECT_EQ(engine.leader_count(), 10U);
+    EXPECT_EQ(engine.steps(), 0U);
+    EXPECT_EQ(engine.population_size(), 10U);
+}
+
+TEST(Engine, AppliesSpecificInteractions) {
+    Engine<Angluin> engine(Angluin{}, 4, 1);
+    engine.apply(Interaction{0, 1});  // L×L → L×F
+    EXPECT_EQ(engine.leader_count(), 3U);
+    EXPECT_EQ(engine.role_of(0), Role::leader);
+    EXPECT_EQ(engine.role_of(1), Role::follower);
+    engine.apply(Interaction{1, 2});  // F×L → unchanged
+    EXPECT_EQ(engine.leader_count(), 3U);
+    EXPECT_EQ(engine.steps(), 2U);
+}
+
+TEST(Engine, IncrementalLeaderCountMatchesRecount) {
+    Engine<Angluin> engine(Angluin{}, 50, 3);
+    for (int i = 0; i < 2000; ++i) {
+        engine.step();
+        if (i % 100 == 0) {
+            const std::size_t incremental = engine.leader_count();
+            EXPECT_EQ(incremental, engine.recount_leaders());
+        }
+    }
+}
+
+TEST(Engine, AppliesRecordedSchedule) {
+    RecordedSchedule schedule;
+    schedule.append(0, 1);
+    schedule.append(0, 2);
+    schedule.append(0, 3);
+    Engine<Angluin> engine(Angluin{}, 4, 1);
+    engine.apply(schedule);
+    EXPECT_EQ(engine.leader_count(), 1U);
+    EXPECT_EQ(engine.steps(), 3U);
+    EXPECT_EQ(*engine.stabilization_step(), 3U);
+}
+
+TEST(Engine, RunUntilOneLeaderConverges) {
+    Engine<Angluin> engine(Angluin{}, 64, 7);
+    const RunResult result = engine.run_until_one_leader(1'000'000);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.leader_count, 1U);
+    ASSERT_TRUE(result.stabilization_step.has_value());
+    EXPECT_GT(*result.stabilization_step, 0U);
+    EXPECT_DOUBLE_EQ(result.parallel_time, static_cast<double>(result.steps) / 64.0);
+}
+
+TEST(Engine, RunUntilHonoursBudget) {
+    Engine<Angluin> engine(Angluin{}, 256, 7);
+    const RunResult result = engine.run_until_one_leader(10);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.steps, 10U);
+    EXPECT_GT(result.leader_count, 1U);
+}
+
+TEST(Engine, RunUntilCustomPredicate) {
+    Engine<Angluin> engine(Angluin{}, 64, 9);
+    const RunResult result = engine.run_until(
+        1'000'000, [](const Engine<Angluin>& e) { return e.leader_count() <= 32; });
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.leader_count, 32U);
+}
+
+TEST(Engine, StabilityVerificationHoldsAfterConvergence) {
+    Engine<Angluin> engine(Angluin{}, 32, 11);
+    ASSERT_TRUE(engine.run_until_one_leader(1'000'000).converged);
+    EXPECT_TRUE(engine.verify_outputs_stable(50'000));
+    EXPECT_EQ(engine.leader_count(), 1U);
+}
+
+TEST(Engine, EqualSeedsGiveIdenticalExecutions) {
+    Engine<Angluin> a(Angluin{}, 128, 42);
+    Engine<Angluin> b(Angluin{}, 128, 42);
+    const RunResult ra = a.run_until_one_leader(10'000'000);
+    const RunResult rb = b.run_until_one_leader(10'000'000);
+    EXPECT_EQ(ra.steps, rb.steps);
+    EXPECT_EQ(ra.stabilization_step, rb.stabilization_step);
+}
+
+TEST(Engine, DistinctSeedsDiverge) {
+    const RunResult ra = simulate_to_single_leader(Angluin{}, 128, 1, 10'000'000);
+    const RunResult rb = simulate_to_single_leader(Angluin{}, 128, 2, 10'000'000);
+    EXPECT_TRUE(ra.converged);
+    EXPECT_TRUE(rb.converged);
+    EXPECT_NE(ra.stabilization_step, rb.stabilization_step);  // astronomically unlikely
+}
+
+TEST(Engine, StabilizationParallelTimeIsNanWithoutConvergence) {
+    Engine<Angluin> engine(Angluin{}, 256, 5);
+    const RunResult result = engine.run_until_one_leader(5);
+    EXPECT_TRUE(std::isnan(result.stabilization_parallel_time(256)));
+}
+
+TEST(Metrics, TimeSeriesDecimatesUnderBudget) {
+    TimeSeries series(16);
+    for (StepCount s = 0; s < 10'000; ++s) series.record(s, static_cast<double>(s));
+    EXPECT_LE(series.points().size(), 16U);
+    EXPECT_GT(series.stride(), 1U);
+    // Recorded points must be a subsequence of the offered observations.
+    for (const auto& p : series.points()) {
+        EXPECT_DOUBLE_EQ(p.value, static_cast<double>(p.step));
+    }
+}
+
+TEST(Metrics, CounterSetAccumulates) {
+    CounterSet counters;
+    counters.increment("flips");
+    counters.increment("flips", 4);
+    EXPECT_EQ(counters.value("flips"), 5U);
+    EXPECT_EQ(counters.value("absent"), 0U);
+    counters.clear();
+    EXPECT_EQ(counters.value("flips"), 0U);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+    std::vector<std::atomic<int>> hits(500);
+    ThreadPool::parallel_for(500, 4, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.thread_count(), 3U);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 20; ++i) pool.submit([&] { ++done; });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 20);
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,115 @@
+// Tests for the one-way epidemic process (§2 / Lemma 2 substrate) and the
+// generic max-propagation helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "protocols/epidemic.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(Epidemic, StartsWithOnlyTheRootInfected) {
+    const auto proc = EpidemicProcess::prefix_subpopulation(10, 5);
+    EXPECT_EQ(proc.infected_count(), 1U);
+    EXPECT_TRUE(proc.infected(0));
+    EXPECT_FALSE(proc.infected(1));
+    EXPECT_EQ(proc.subpopulation_size(), 5U);
+    EXPECT_FALSE(proc.complete());
+}
+
+TEST(Epidemic, ValidatesConstruction) {
+    EXPECT_THROW(EpidemicProcess::prefix_subpopulation(10, 0), InvalidArgument);
+    EXPECT_THROW(EpidemicProcess::prefix_subpopulation(10, 11), InvalidArgument);
+    std::vector<bool> members(4, false);
+    members[1] = true;
+    // Root outside the sub-population:
+    EXPECT_THROW(EpidemicProcess(4, members, 0), InvalidArgument);
+    EXPECT_NO_THROW(EpidemicProcess(4, members, 1));
+}
+
+TEST(Epidemic, SpreadsInBothInteractionDirections) {
+    auto proc = EpidemicProcess::prefix_subpopulation(6, 6);
+    // Infected responder infects the initiator…
+    EXPECT_TRUE(proc.apply(Interaction{3, 0}));
+    EXPECT_TRUE(proc.infected(3));
+    // …and an infected initiator infects the responder.
+    EXPECT_TRUE(proc.apply(Interaction{3, 4}));
+    EXPECT_TRUE(proc.infected(4));
+    EXPECT_EQ(proc.infected_count(), 3U);
+}
+
+TEST(Epidemic, IgnoresInteractionsOutsideTheSubpopulation) {
+    auto proc = EpidemicProcess::prefix_subpopulation(8, 4);  // members 0..3
+    EXPECT_FALSE(proc.apply(Interaction{0, 5}));  // 5 ∉ V′: no infection
+    EXPECT_FALSE(proc.infected(5));
+    EXPECT_FALSE(proc.apply(Interaction{6, 7}));
+    EXPECT_EQ(proc.infected_count(), 1U);
+}
+
+TEST(Epidemic, InfectionIsMonotone) {
+    auto proc = EpidemicProcess::prefix_subpopulation(5, 5);
+    proc.apply(Interaction{0, 1});
+    // Re-interacting infected agents changes nothing.
+    EXPECT_FALSE(proc.apply(Interaction{0, 1}));
+    EXPECT_FALSE(proc.apply(Interaction{1, 0}));
+    EXPECT_EQ(proc.infected_count(), 2U);
+}
+
+TEST(Epidemic, RunsToCompletionInTheWholePopulation) {
+    auto proc = EpidemicProcess::prefix_subpopulation(64, 64);
+    const StepCount steps = proc.run_to_completion(9, 10'000'000);
+    EXPECT_TRUE(proc.complete());
+    EXPECT_GE(steps, 63U);  // at least n−1 infecting interactions needed
+}
+
+TEST(Epidemic, RunsToCompletionInASubpopulation) {
+    auto proc = EpidemicProcess::prefix_subpopulation(64, 16);
+    const StepCount steps = proc.run_to_completion(10, 50'000'000);
+    EXPECT_TRUE(proc.complete());
+    EXPECT_GE(steps, 15U);
+}
+
+TEST(Epidemic, CompletionTimeRespectsLemma2Shape) {
+    // Empirical check of Lemma 2 at a fixed confidence point: with
+    // t = n·ln(2n), the bound gives failure ≤ 1/2; the observed completion
+    // should beat 2⌈n/n′⌉·t comfortably on most seeds. We assert the
+    // average over seeds stays below the bound's step horizon.
+    const std::size_t n = 256;
+    for (const std::size_t n_prime : {256UL, 128UL, 64UL}) {
+        const double t = static_cast<double>(n) * std::log(2.0 * n);
+        const double horizon = 2.0 * std::ceil(static_cast<double>(n) / n_prime) * t;
+        double total = 0.0;
+        const int reps = 10;
+        for (int rep = 0; rep < reps; ++rep) {
+            auto proc = EpidemicProcess::prefix_subpopulation(n, n_prime);
+            total += static_cast<double>(
+                proc.run_to_completion(100 + rep, static_cast<StepCount>(horizon * 50)));
+        }
+        EXPECT_LT(total / reps, horizon) << "n' = " << n_prime;
+    }
+}
+
+TEST(Epidemic, FailureBoundEvaluates) {
+    const auto proc = EpidemicProcess::prefix_subpopulation(100, 50);
+    const double loose = proc.lemma2_failure_bound(10);
+    const double tight = proc.lemma2_failure_bound(10'000'000);
+    EXPECT_GT(loose, tight);
+    EXPECT_GE(tight, 0.0);
+}
+
+TEST(PropagateMax, PropagatesAndReportsChange) {
+    int a = 3;
+    int b = 7;
+    EXPECT_TRUE(propagate_max(a, b));
+    EXPECT_EQ(a, 7);
+    EXPECT_EQ(b, 7);
+    EXPECT_FALSE(propagate_max(a, b));
+    int c = 9;
+    int d = 2;
+    EXPECT_TRUE(propagate_max(c, d));
+    EXPECT_EQ(d, 9);
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,148 @@
+// Tests for the junta-driven phase clock substrate (protocols/junta_clock.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "protocols/junta_clock.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(JuntaClock, ValidatesParameters) {
+    EXPECT_THROW(JuntaPhaseClock(0, 8), InvalidArgument);
+    EXPECT_THROW(JuntaPhaseClock(31, 8), InvalidArgument);
+    EXPECT_THROW(JuntaPhaseClock(3, 3), InvalidArgument);
+    EXPECT_NO_THROW(JuntaPhaseClock(3, 8));
+}
+
+TEST(JuntaClock, ForPopulationShape) {
+    const JuntaPhaseClock clock = JuntaPhaseClock::for_population(1024);
+    EXPECT_EQ(clock.threshold(), ceil_log2(10) + 2);  // ⌈lg lg n⌉ + 2 = 6
+    EXPECT_EQ(clock.period(), 8U * 10U + 1U);
+    EXPECT_EQ(clock.period() % 2, 1U) << "period must be odd (no half-period tie)";
+}
+
+TEST(JuntaClock, RaceAdmitsOnThresholdHeads) {
+    const JuntaPhaseClock clock(2, 8);
+    JuntaClockState racer;
+    JuntaClockState other;
+    other.racing = false;
+    // Two heads in a row (always the initiator) reach the threshold.
+    clock.interact(racer, other);
+    EXPECT_TRUE(racer.racing);
+    EXPECT_FALSE(racer.junta);
+    clock.interact(racer, other);
+    EXPECT_FALSE(racer.racing);
+    EXPECT_TRUE(racer.junta);
+}
+
+TEST(JuntaClock, TailEndsTheRaceWithoutAdmission) {
+    const JuntaPhaseClock clock(2, 8);
+    JuntaClockState racer;
+    JuntaClockState other;
+    other.racing = false;
+    clock.interact(other, racer);  // responder: tail
+    EXPECT_FALSE(racer.racing);
+    EXPECT_FALSE(racer.junta);
+    EXPECT_EQ(racer.level, 0);
+}
+
+TEST(JuntaClock, JuntaMembersDriveTheClock) {
+    const JuntaPhaseClock clock(2, 5);
+    JuntaClockState driver;
+    driver.racing = false;
+    driver.junta = true;
+    JuntaClockState partner;  // persists, so it is dragged along realistically
+    partner.racing = false;
+    for (int i = 0; i < 5; ++i) {
+        clock.interact(partner, driver);  // driver responds ⇒ advances
+    }
+    EXPECT_EQ(driver.position, 0);
+    EXPECT_EQ(driver.rounds, 1);
+    // Non-members never self-advance: they only adopt.
+    JuntaClockState fresh;
+    fresh.racing = false;
+    fresh.position = driver.position;
+    clock.interact(driver, fresh);
+    EXPECT_EQ(fresh.position, driver.position);
+    EXPECT_EQ(fresh.rounds, 0);
+}
+
+TEST(JuntaClock, PositionsPropagateToNonMembers) {
+    const JuntaPhaseClock clock(2, 8);
+    JuntaClockState ahead;
+    ahead.racing = false;
+    ahead.position = 3;
+    JuntaClockState behind;
+    behind.racing = false;
+    clock.interact(ahead, behind);
+    EXPECT_EQ(behind.position, 3);
+}
+
+TEST(JuntaClock, JuntaSizeConcentratesAroundExpectation) {
+    // E[#junta] = n / 2^θ; check within a factor of 3 either way across
+    // seeds (binomial concentration makes larger deviations vanishing).
+    const std::size_t n = 4096;
+    const JuntaPhaseClock clock = JuntaPhaseClock::for_population(n);
+    const double expected =
+        static_cast<double>(n) / std::exp2(static_cast<double>(clock.threshold()));
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        Engine<JuntaPhaseClock> engine(clock, n, seed);
+        // The race finishes after every agent's first tail — a few parallel
+        // time units; run 20 to be safe.
+        engine.run_for(20 * static_cast<StepCount>(n));
+        std::size_t junta = 0;
+        std::size_t racing = 0;
+        for (const JuntaClockState& s : engine.population().states()) {
+            junta += s.junta ? 1 : 0;
+            racing += s.racing ? 1 : 0;
+        }
+        EXPECT_EQ(racing, 0U) << "race unfinished after 20 parallel time units";
+        EXPECT_GT(static_cast<double>(junta), expected / 3.0);
+        EXPECT_LT(static_cast<double>(junta), expected * 3.0);
+    }
+}
+
+TEST(JuntaClock, LeaderlessRoundsProgress) {
+    const std::size_t n = 1024;
+    Engine<JuntaPhaseClock> engine(JuntaPhaseClock::for_population(n), n, 9);
+    const unsigned period = engine.protocol().period();
+    // Expected drivers ≈ n/2^θ; each advances on ~half its interactions, so
+    // a round costs about period·2 parallel time for the fastest driver.
+    engine.run_for(static_cast<StepCount>(8) * period * n);
+    std::uint16_t max_rounds = 0;
+    for (const JuntaClockState& s : engine.population().states()) {
+        max_rounds = std::max(max_rounds, s.rounds);
+    }
+    EXPECT_GE(max_rounds, 1U) << "no junta member completed a round";
+}
+
+TEST(JuntaClock, PopulationStaysWithinHalfAPeriod) {
+    // The synchronisation property that makes the clock usable: positions
+    // cluster within half a period of the maximum (checked at several
+    // instants after the race settles).
+    const std::size_t n = 512;
+    Engine<JuntaPhaseClock> engine(JuntaPhaseClock::for_population(n), n, 4);
+    const JuntaPhaseClock& clock = engine.protocol();
+    engine.run_for(30 * static_cast<StepCount>(n));
+    for (int checkpoint = 0; checkpoint < 10; ++checkpoint) {
+        engine.run_for(10 * static_cast<StepCount>(n));
+        // Find the most advanced position, then require every agent to be
+        // within half a period behind it.
+        std::uint16_t front = engine.population()[0].position;
+        for (const JuntaClockState& s : engine.population().states()) {
+            if (clock.is_ahead(s.position, front)) front = s.position;
+        }
+        std::size_t stragglers = 0;
+        for (const JuntaClockState& s : engine.population().states()) {
+            const unsigned lag =
+                (front + clock.period() - s.position) % clock.period();
+            stragglers += lag > clock.period() / 2 ? 1 : 0;
+        }
+        EXPECT_EQ(stragglers, 0U) << "agents fell behind the clock";
+    }
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,141 @@
+// Tests for the loosely-stabilising protocol [Sud+12]: recovery from
+// adversarial configurations and long holding times — behaviours outside
+// PLL's contract that motivate its design trade-off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "protocols/loose.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(Loose, ValidatesConstruction) {
+    EXPECT_THROW(LooselyStabilizing(1), InvalidArgument);
+    EXPECT_NO_THROW(LooselyStabilizing(2));
+    EXPECT_EQ(LooselyStabilizing::for_population(1024).t_max(), 160U);
+}
+
+TEST(Loose, HeartbeatEpidemicAgesByOne) {
+    const LooselyStabilizing proto(10);
+    LooseState high;
+    high.timer = 7;
+    LooseState low;
+    low.timer = 2;
+    proto.interact(high, low);
+    EXPECT_EQ(high.timer, 6);
+    EXPECT_EQ(low.timer, 6);
+}
+
+TEST(Loose, LeaderRearmsItsTimer) {
+    const LooselyStabilizing proto(10);
+    LooseState leader;
+    leader.leader = true;
+    leader.timer = 3;
+    LooseState follower;
+    follower.timer = 1;
+    proto.interact(leader, follower);
+    EXPECT_EQ(leader.timer, 10);
+    EXPECT_EQ(follower.timer, 2);  // max(3,1)−1, not re-armed
+}
+
+TEST(Loose, TimeoutPromotesDrainedFollower) {
+    const LooselyStabilizing proto(10);
+    LooseState a;
+    a.timer = 0;
+    LooseState b;
+    b.timer = 1;
+    proto.interact(a, b);
+    // Shared aged timer is 0 ⇒ both time out and step up; the leader-pair
+    // rule then drops the responder, leaving exactly one fresh leader.
+    EXPECT_TRUE(a.leader);
+    EXPECT_FALSE(b.leader);
+    EXPECT_EQ(a.timer, 10);
+}
+
+TEST(Loose, TwoLeadersReduceToOne) {
+    const LooselyStabilizing proto(10);
+    LooseState u;
+    u.leader = true;
+    LooseState v;
+    v.leader = true;
+    proto.interact(u, v);
+    EXPECT_TRUE(u.leader);
+    EXPECT_FALSE(v.leader);
+}
+
+/// Seeds an adversarial configuration and expects recovery: after a warm-up
+/// in which the heartbeat saturates (transient flapping is expected and
+/// allowed — that *is* the recovery), the population holds exactly one
+/// leader through a long quiet window.
+void expect_recovery(Engine<LooselyStabilizing>& engine) {
+    const std::size_t n = engine.population_size();
+    const StepCount tmax_n =
+        static_cast<StepCount>(engine.protocol().t_max()) * static_cast<StepCount>(n);
+    // Warm-up: O(t_max) parallel time for timer drain + heartbeat spread,
+    // plus O(n) parallel time for leader coalescence from the worst case.
+    engine.run_for(10 * tmax_n + static_cast<StepCount>(n) * n);
+    ASSERT_EQ(engine.leader_count(), 1U) << "not recovered after warm-up";
+    // Holding: with t_max = 16·lg n the timeout probability per window is
+    // astronomically small; 50n steps of quiet is a conservative check.
+    std::size_t changes = 0;
+    for (StepCount i = 0; i < 50 * static_cast<StepCount>(n); ++i) {
+        const std::size_t before = engine.leader_count();
+        engine.step();
+        changes += engine.leader_count() != before ? 1 : 0;
+    }
+    EXPECT_EQ(changes, 0U) << "leader flapped during the holding window";
+}
+
+TEST(LooseRecovery, FromCleanAllZero) {
+    const std::size_t n = 256;
+    Engine<LooselyStabilizing> engine(LooselyStabilizing::for_population(n), n, 1);
+    expect_recovery(engine);
+}
+
+TEST(LooseRecovery, FromAllLeaders) {
+    const std::size_t n = 256;
+    Engine<LooselyStabilizing> engine(LooselyStabilizing::for_population(n), n, 2);
+    for (auto& s : engine.population().states()) {
+        s.leader = true;
+        s.timer = engine.protocol().t_max();
+    }
+    engine.recount_leaders();
+    expect_recovery(engine);
+}
+
+TEST(LooseRecovery, FromLeaderlessFullTimers) {
+    // The adversarial case PLL cannot handle: no leader anywhere and timers
+    // fully charged — the timeout must fire after the timers drain.
+    const std::size_t n = 256;
+    Engine<LooselyStabilizing> engine(LooselyStabilizing::for_population(n), n, 3);
+    for (auto& s : engine.population().states()) {
+        s.leader = false;
+        s.timer = engine.protocol().t_max();
+    }
+    engine.recount_leaders();
+    ASSERT_EQ(engine.leader_count(), 0U);
+    expect_recovery(engine);
+}
+
+TEST(LooseRecovery, FromScatteredGarbage) {
+    const std::size_t n = 256;
+    Engine<LooselyStabilizing> engine(LooselyStabilizing::for_population(n), n, 4);
+    Rng rng(99);
+    for (auto& s : engine.population().states()) {
+        s.leader = uniform_below(rng, 10) == 0;
+        s.timer = static_cast<std::uint16_t>(
+            uniform_below(rng, engine.protocol().t_max() + 1));
+    }
+    engine.recount_leaders();
+    expect_recovery(engine);
+}
+
+TEST(Loose, StateBoundIsLogarithmic) {
+    const LooselyStabilizing proto = LooselyStabilizing::for_population(4096);
+    EXPECT_EQ(proto.state_bound(), (16U * 12U + 1U) * 2U);
+}
+
+}  // namespace
+}  // namespace ppsim

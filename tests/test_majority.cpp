@@ -1,0 +1,141 @@
+// Tests for the four-state exact-majority protocol (protocols/majority.hpp).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "protocols/majority.hpp"
+
+namespace ppsim {
+namespace {
+
+MajorityState make(MajorityOpinion o) {
+    MajorityState s;
+    s.opinion = o;
+    return s;
+}
+
+TEST(Majority, StrongOppositesAnnihilateToWeak) {
+    const ExactMajority proto;
+    MajorityState a = make(MajorityOpinion::strong_a);
+    MajorityState b = make(MajorityOpinion::strong_b);
+    proto.interact(a, b);
+    EXPECT_EQ(a.opinion, MajorityOpinion::weak_a);
+    EXPECT_EQ(b.opinion, MajorityOpinion::weak_b);
+}
+
+TEST(Majority, StrongConvertsOppositeWeak) {
+    const ExactMajority proto;
+    MajorityState strong = make(MajorityOpinion::strong_a);
+    MajorityState weak = make(MajorityOpinion::weak_b);
+    proto.interact(strong, weak);
+    EXPECT_EQ(strong.opinion, MajorityOpinion::strong_a);
+    EXPECT_EQ(weak.opinion, MajorityOpinion::weak_a);
+    // And in the other role order.
+    MajorityState strong_b = make(MajorityOpinion::strong_b);
+    MajorityState weak_a = make(MajorityOpinion::weak_a);
+    proto.interact(weak_a, strong_b);
+    EXPECT_EQ(weak_a.opinion, MajorityOpinion::weak_b);
+}
+
+TEST(Majority, SameOpinionAndWeakPairsAreInert) {
+    const ExactMajority proto;
+    MajorityState a1 = make(MajorityOpinion::strong_a);
+    MajorityState a2 = make(MajorityOpinion::weak_a);
+    proto.interact(a1, a2);
+    EXPECT_EQ(a1.opinion, MajorityOpinion::strong_a);
+    EXPECT_EQ(a2.opinion, MajorityOpinion::weak_a);
+    MajorityState wa = make(MajorityOpinion::weak_a);
+    MajorityState wb = make(MajorityOpinion::weak_b);
+    proto.interact(wa, wb);
+    EXPECT_EQ(wa.opinion, MajorityOpinion::weak_a);
+    EXPECT_EQ(wb.opinion, MajorityOpinion::weak_b);
+}
+
+TEST(Majority, StrongMarginIsInvariant) {
+    // #strongA − #strongB never changes: annihilation removes one of each,
+    // conversions touch only weak agents. This is the protocol's exactness.
+    const std::size_t n = 100;
+    Engine<ExactMajority> engine(ExactMajority{}, n, 5);
+    ExactMajority::seed_inputs(engine.population(), 53);
+    engine.recount_leaders();
+    const auto margin = [&] {
+        long long m = 0;
+        for (const MajorityState& s : engine.population().states()) {
+            if (s.opinion == MajorityOpinion::strong_a) ++m;
+            if (s.opinion == MajorityOpinion::strong_b) --m;
+        }
+        return m;
+    };
+    const long long initial = margin();
+    EXPECT_EQ(initial, 53 - 47);
+    for (int burst = 0; burst < 100; ++burst) {
+        engine.run_for(100);
+        ASSERT_EQ(margin(), initial);
+    }
+}
+
+class MajorityDecision
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MajorityDecision, ConvergesToTheTrueMajority) {
+    const auto [n, a_count] = GetParam();
+    Engine<ExactMajority> engine(ExactMajority{}, n, 7 + n + a_count);
+    ExactMajority::seed_inputs(engine.population(), a_count);
+    engine.recount_leaders();
+    const RunResult result = engine.run_until(
+        static_cast<StepCount>(600) * n * n,
+        [](const Engine<ExactMajority>& e) { return majority_consensus_reached(e); });
+    ASSERT_TRUE(result.converged);
+    const bool a_won = engine.leader_count() == n;
+    EXPECT_EQ(a_won, 2 * a_count > n) << "consensus on the minority opinion";
+}
+
+INSTANTIATE_TEST_SUITE_P(Margins, MajorityDecision,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{50, 26},
+                                           std::pair<std::size_t, std::size_t>{50, 24},
+                                           std::pair<std::size_t, std::size_t>{100, 51},
+                                           std::pair<std::size_t, std::size_t>{100, 90},
+                                           std::pair<std::size_t, std::size_t>{100, 3},
+                                           std::pair<std::size_t, std::size_t>{64, 33}));
+
+TEST(Majority, TieNeverReachesConsensusButMarginStaysZero) {
+    const std::size_t n = 40;
+    Engine<ExactMajority> engine(ExactMajority{}, n, 3);
+    ExactMajority::seed_inputs(engine.population(), n / 2);
+    engine.recount_leaders();
+    engine.run_for(200'000);
+    EXPECT_FALSE(majority_consensus_reached(engine));
+    // With a zero margin every strong agent eventually annihilates, leaving
+    // a frozen all-weak mixture with both opinions still present (the weak
+    // split itself is path-dependent — conversions skew it — but a tie can
+    // never produce consensus).
+    std::size_t weak_a = 0;
+    std::size_t weak_b = 0;
+    for (const MajorityState& s : engine.population().states()) {
+        if (s.opinion == MajorityOpinion::weak_a) ++weak_a;
+        if (s.opinion == MajorityOpinion::weak_b) ++weak_b;
+    }
+    EXPECT_EQ(weak_a + weak_b, n);
+    EXPECT_GT(weak_a, 0U);
+    EXPECT_GT(weak_b, 0U);
+}
+
+TEST(Majority, SeedInputsValidates) {
+    Population<MajorityState> pop(10, MajorityState{});
+    EXPECT_THROW(ExactMajority::seed_inputs(pop, 11), InvalidArgument);
+    ExactMajority::seed_inputs(pop, 4);
+    std::size_t strong_a = 0;
+    for (const MajorityState& s : pop.states()) {
+        strong_a += s.opinion == MajorityOpinion::strong_a ? 1 : 0;
+    }
+    EXPECT_EQ(strong_a, 4U);
+}
+
+TEST(Majority, StateAccounting) {
+    const ExactMajority proto;
+    EXPECT_EQ(proto.state_bound(), 4U);
+    EXPECT_NE(proto.state_key(make(MajorityOpinion::strong_a)),
+              proto.state_key(make(MajorityOpinion::weak_a)));
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,190 @@
+// Property-based tests: invariants of PLL that must hold at every step of
+// every execution, checked over long random runs with shadow tracking.
+// These encode the facts the paper's proofs rely on (Lemma 4, the
+// never-eliminate-all-leaders arguments, the Table-3 domains).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "protocols/pll.hpp"
+
+namespace ppsim {
+namespace {
+
+struct PropertyRunParams {
+    std::size_t n;
+    std::uint64_t seed;
+};
+
+class PllInvariants : public ::testing::TestWithParam<PropertyRunParams> {};
+
+std::string param_name(const ::testing::TestParamInfo<PropertyRunParams>& info) {
+    return "n" + std::to_string(info.param.n) + "_seed" +
+           std::to_string(info.param.seed);
+}
+
+/// Checks the Table-3 domain bounds of a single state.
+void expect_domains(const Pll& pll, const PllState& s) {
+    const PllConfig& cfg = pll.config();
+    ASSERT_GE(s.epoch, 1);
+    ASSERT_LE(s.epoch, 4);
+    ASSERT_GE(s.init, 1);
+    ASSERT_LE(s.init, 4);
+    ASSERT_LE(s.init, s.epoch) << "init must trail epoch";
+    ASSERT_LE(s.color, 2);
+    switch (s.status) {
+        case PllStatus::b:
+            ASSERT_LT(s.count, cfg.cmax());
+            ASSERT_FALSE(s.leader) << "timer agents are never leaders";
+            break;
+        case PllStatus::a:
+            ASSERT_LE(s.level_q, cfg.lmax());
+            ASSERT_LT(s.rand, 1U << cfg.phi());
+            ASSERT_LE(s.index, cfg.phi());
+            ASSERT_LE(s.level_b, cfg.lmax());
+            break;
+        case PllStatus::x:
+            ASSERT_TRUE(s.leader) << "unassigned agents still output L";
+            break;
+    }
+}
+
+TEST_P(PllInvariants, HoldAtEveryStepOfARandomExecution) {
+    const auto [n, seed] = GetParam();
+    Engine<Pll> engine(Pll::for_population(n), n, seed);
+    const Pll& pll = engine.protocol();
+
+    // Shadow state for monotonicity invariants.
+    std::vector<bool> was_follower(n, false);
+    std::vector<std::uint8_t> prev_epoch(n, 1);
+    std::vector<PllStatus> assigned_status(n, PllStatus::x);
+
+    const double lg = std::max(1.0, std::log2(static_cast<double>(n)));
+    const auto steps = static_cast<StepCount>(300.0 * static_cast<double>(n) * lg);
+
+    for (StepCount step = 0; step < steps; ++step) {
+        const Interaction ia = engine.step();
+        for (const AgentId id : {ia.initiator, ia.responder}) {
+            const PllState& s = engine.population()[id];
+            expect_domains(pll, s);
+
+            // Follower-ness is absorbing: leader=false never reverts.
+            if (was_follower[id]) {
+                ASSERT_FALSE(s.leader) << "agent " << id << " regained leadership";
+            }
+            if (!s.leader) was_follower[id] = true;
+
+            // Epochs never decrease per agent.
+            ASSERT_GE(s.epoch, prev_epoch[id]);
+            prev_epoch[id] = s.epoch;
+
+            // Status is fixed once assigned.
+            if (assigned_status[id] != PllStatus::x) {
+                ASSERT_EQ(s.status, assigned_status[id]);
+            }
+            assigned_status[id] = s.status;
+        }
+        // The protocol never eliminates all leaders (the paper's central
+        // safety argument for each of the three modules).
+        ASSERT_GE(engine.leader_count(), 1U) << "all leaders eliminated at step " << step;
+    }
+
+    // Lemma 4: once every agent is assigned, |VA| ≥ n/2 and |VB| ≥ 1.
+    std::size_t va = 0;
+    std::size_t vb = 0;
+    std::size_t unassigned = 0;
+    for (const PllState& s : engine.population().states()) {
+        va += Pll::in_va(s) ? 1 : 0;
+        vb += Pll::in_vb(s) ? 1 : 0;
+        unassigned += s.status == PllStatus::x ? 1 : 0;
+    }
+    if (unassigned == 0) {
+        EXPECT_GE(2 * va, n);
+        EXPECT_GE(vb, 1U);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Runs, PllInvariants,
+    ::testing::Values(PropertyRunParams{4, 1}, PropertyRunParams{9, 2},
+                      PropertyRunParams{16, 3}, PropertyRunParams{50, 4},
+                      PropertyRunParams{128, 5}, PropertyRunParams{128, 6},
+                      PropertyRunParams{512, 7}),
+    param_name);
+
+TEST(PllSafety, SomeLeaderAlwaysHoldsTheMaximumLevelB) {
+    // The invariant behind Lemma 12's absorbing argument: in epoch 4 the
+    // maximum levelB over VA is always attained by at least one leader.
+    const std::size_t n = 128;
+    Engine<Pll> engine(Pll::for_population(n), n, 31337);
+    const double lg = std::log2(static_cast<double>(n));
+    const auto steps = static_cast<StepCount>(400.0 * n * lg);
+    for (StepCount step = 0; step < steps; ++step) {
+        engine.step();
+        if (step % 64 != 0) continue;
+        // Applies only once every agent reached epoch 4.
+        bool all_epoch4 = true;
+        for (const PllState& s : engine.population().states()) {
+            if (s.epoch != 4) {
+                all_epoch4 = false;
+                break;
+            }
+        }
+        if (!all_epoch4) continue;
+        std::uint16_t max_level = 0;
+        bool leader_at_max = false;
+        for (const PllState& s : engine.population().states()) {
+            if (!Pll::in_va(s)) continue;
+            if (s.level_b > max_level) {
+                max_level = s.level_b;
+                leader_at_max = s.leader;
+            } else if (s.level_b == max_level && s.leader) {
+                leader_at_max = true;
+            }
+        }
+        ASSERT_TRUE(leader_at_max) << "no leader holds max levelB at step " << step;
+    }
+}
+
+TEST(PllSafety, LeadersAreAlwaysInVaOnceAssigned) {
+    const std::size_t n = 200;
+    Engine<Pll> engine(Pll::for_population(n), n, 2024);
+    for (StepCount step = 0; step < 200'000; ++step) {
+        const Interaction ia = engine.step();
+        for (const AgentId id : {ia.initiator, ia.responder}) {
+            const PllState& s = engine.population()[id];
+            if (s.leader && s.status != PllStatus::x) {
+                ASSERT_EQ(s.status, PllStatus::a);
+            }
+        }
+    }
+}
+
+TEST(PllSafety, TickIsAlwaysClearedBetweenObservations) {
+    // tick is transient: it may be true in a stored state, but the next
+    // interaction of that agent clears it before reading (line 7). We check
+    // the observable consequence: epoch only moves when colour moves.
+    const std::size_t n = 64;
+    Engine<Pll> engine(Pll::for_population(n), n, 555);
+    std::vector<std::uint8_t> prev_color(n, 0);
+    std::vector<std::uint8_t> prev_epoch(n, 1);
+    for (StepCount step = 0; step < 100'000; ++step) {
+        const Interaction ia = engine.step();
+        for (const AgentId id : {ia.initiator, ia.responder}) {
+            const PllState& s = engine.population()[id];
+            if (s.epoch > prev_epoch[id]) {
+                // An epoch advance requires a tick, which requires a new
+                // colour in the same interaction (wrap or adoption).
+                EXPECT_NE(s.color, prev_color[id])
+                    << "epoch advanced without a colour event at step " << step;
+            }
+            prev_color[id] = s.color;
+            prev_epoch[id] = s.epoch;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ppsim

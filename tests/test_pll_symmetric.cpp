@@ -1,0 +1,367 @@
+// Tests for the symmetric PLL variant (Section 4): the symmetry law itself,
+// the X/Y status assignment, the J/K/F0/F1 coin substrate and its fairness
+// invariant, the duel tie-break, and full elections.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "protocols/pll_symmetric.hpp"
+
+namespace ppsim {
+namespace {
+
+SymmetricPll make_sym() {
+    PllConfig cfg;
+    cfg.m = 4;  // lmax = 20, cmax = 164, Φ = 2
+    return SymmetricPll(cfg);
+}
+
+SymPllState follower_with(CoinStatus coin, unsigned epoch = 1) {
+    SymPllState s;
+    s.status = SymStatus::a;
+    s.leader = false;
+    s.coin = coin;
+    s.done = true;
+    s.epoch = static_cast<std::uint8_t>(epoch);
+    s.init = static_cast<std::uint8_t>(epoch);
+    if (epoch == 2 || epoch == 3) {
+        s.done = false;
+        s.index = 2;  // Φ
+    }
+    if (epoch == 4) s.done = false;
+    return s;
+}
+
+SymPllState leader_in(unsigned epoch) {
+    SymPllState s;
+    s.status = SymStatus::a;
+    s.leader = true;
+    s.epoch = static_cast<std::uint8_t>(epoch);
+    s.init = static_cast<std::uint8_t>(epoch);
+    s.done = epoch != 1 ? false : s.done;
+    return s;
+}
+
+// --- the symmetry law ---------------------------------------------------------
+
+TEST(SymmetricLaw, EqualStatesProduceEqualStates) {
+    // p = q ⇒ p' = q' for every equal pair we can reach or craft. This is
+    // the defining property of a symmetric protocol.
+    const SymmetricPll sym = make_sym();
+    std::vector<SymPllState> probes;
+    probes.push_back(SymPllState{});  // X×X
+    SymPllState y;
+    y.status = SymStatus::y;
+    probes.push_back(y);  // Y×Y
+    probes.push_back(follower_with(CoinStatus::j));
+    probes.push_back(follower_with(CoinStatus::k));
+    probes.push_back(follower_with(CoinStatus::f0));
+    probes.push_back(follower_with(CoinStatus::f1));
+    probes.push_back(leader_in(1));
+    probes.push_back(leader_in(4));
+    SymPllState dueler = leader_in(4);
+    dueler.duel = DuelBit::one;
+    probes.push_back(dueler);
+    SymPllState timer;
+    timer.status = SymStatus::b;
+    timer.leader = false;
+    timer.count = 17;
+    probes.push_back(timer);
+
+    for (const SymPllState& probe : probes) {
+        SymPllState a = probe;
+        SymPllState b = probe;
+        sym.interact(a, b);
+        EXPECT_EQ(a, b) << "asymmetric outcome from equal states";
+    }
+}
+
+TEST(SymmetricLaw, SwappingRolesSwapsOutcomes) {
+    // For a symmetric protocol the ordered pair carries no information:
+    // interact(p, q) = (p', q') implies interact(q, p) = (q', p').
+    const SymmetricPll sym = make_sym();
+    std::vector<std::pair<SymPllState, SymPllState>> pairs;
+    pairs.emplace_back(SymPllState{}, follower_with(CoinStatus::j));
+    pairs.emplace_back(leader_in(1), follower_with(CoinStatus::f0));
+    pairs.emplace_back(leader_in(1), follower_with(CoinStatus::f1));
+    pairs.emplace_back(leader_in(2), follower_with(CoinStatus::f0, 2));
+    pairs.emplace_back(leader_in(4), follower_with(CoinStatus::f1, 4));
+    pairs.emplace_back(follower_with(CoinStatus::j), follower_with(CoinStatus::k));
+    SymPllState x;  // X meets Y
+    SymPllState yy;
+    yy.status = SymStatus::y;
+    pairs.emplace_back(x, yy);
+
+    for (const auto& [p, q] : pairs) {
+        SymPllState a0 = p;
+        SymPllState a1 = q;
+        sym.interact(a0, a1);
+        SymPllState b0 = q;
+        SymPllState b1 = p;
+        sym.interact(b0, b1);
+        EXPECT_EQ(a0, b1);
+        EXPECT_EQ(a1, b0);
+    }
+}
+
+// --- status assignment ------------------------------------------------------------
+
+TEST(SymmetricStatus, XxBecomesYy) {
+    const SymmetricPll sym = make_sym();
+    SymPllState a;
+    SymPllState b;
+    sym.interact(a, b);
+    EXPECT_EQ(a.status, SymStatus::y);
+    EXPECT_EQ(b.status, SymStatus::y);
+    EXPECT_TRUE(a.leader);  // unassigned agents keep output L
+}
+
+TEST(SymmetricStatus, YyBecomesXx) {
+    const SymmetricPll sym = make_sym();
+    SymPllState a;
+    a.status = SymStatus::y;
+    SymPllState b;
+    b.status = SymStatus::y;
+    sym.interact(a, b);
+    EXPECT_EQ(a.status, SymStatus::x);
+    EXPECT_EQ(b.status, SymStatus::x);
+}
+
+TEST(SymmetricStatus, XyBecomesCandidateAndTimer) {
+    const SymmetricPll sym = make_sym();
+    SymPllState x;
+    SymPllState y;
+    y.status = SymStatus::y;
+    sym.interact(x, y);
+    EXPECT_EQ(x.status, SymStatus::a);
+    EXPECT_TRUE(x.leader);
+    EXPECT_EQ(y.status, SymStatus::b);
+    EXPECT_FALSE(y.leader);
+    EXPECT_EQ(y.coin, CoinStatus::j);  // fresh follower starts at J
+}
+
+TEST(SymmetricStatus, UnassignedMeetingAssignedJoinsAsFollower) {
+    const SymmetricPll sym = make_sym();
+    SymPllState y;
+    y.status = SymStatus::y;
+    SymPllState assigned = leader_in(1);
+    sym.interact(y, assigned);
+    EXPECT_EQ(y.status, SymStatus::a);
+    EXPECT_FALSE(y.leader);
+    EXPECT_TRUE(y.done);  // epoch-1 follower never plays the lottery
+    EXPECT_EQ(y.coin, CoinStatus::j);
+}
+
+TEST(SymmetricStatus, LateJoinerInLaterEpochGetsItsGroupInitialised) {
+    // Completion 2: an unassigned agent can be past epoch 1 when assigned.
+    const SymmetricPll sym = make_sym();
+    SymPllState y;
+    y.status = SymStatus::y;
+    y.epoch = 4;
+    y.init = 4;
+    SymPllState assigned = follower_with(CoinStatus::f0, 4);
+    assigned.level_b = 3;
+    sym.interact(y, assigned);
+    EXPECT_EQ(y.status, SymStatus::a);
+    EXPECT_FALSE(y.leader);
+    // levelB initialised to 0 at assignment, then the epidemic of the same
+    // interaction lifts it to the carried maximum.
+    EXPECT_EQ(y.level_b, 3);
+}
+
+// --- the coin substrate -----------------------------------------------------------
+
+TEST(SymmetricCoins, SubstrateRules) {
+    const SymmetricPll sym = make_sym();
+    // J×J → K×K
+    SymPllState a = follower_with(CoinStatus::j);
+    SymPllState b = follower_with(CoinStatus::j);
+    sym.interact(a, b);
+    EXPECT_EQ(a.coin, CoinStatus::k);
+    EXPECT_EQ(b.coin, CoinStatus::k);
+    // K×K → J×J
+    sym.interact(a, b);
+    EXPECT_EQ(a.coin, CoinStatus::j);
+    EXPECT_EQ(b.coin, CoinStatus::j);
+    // J×K → F0×F1 (the J-party mints F0)
+    SymPllState j = follower_with(CoinStatus::j);
+    SymPllState k = follower_with(CoinStatus::k);
+    sym.interact(k, j);
+    EXPECT_EQ(j.coin, CoinStatus::f0);
+    EXPECT_EQ(k.coin, CoinStatus::f1);
+}
+
+TEST(SymmetricCoins, MintedCoinsAreStable) {
+    const SymmetricPll sym = make_sym();
+    SymPllState f0 = follower_with(CoinStatus::f0);
+    SymPllState f1 = follower_with(CoinStatus::f1);
+    sym.interact(f0, f1);
+    EXPECT_EQ(f0.coin, CoinStatus::f0);
+    EXPECT_EQ(f1.coin, CoinStatus::f1);
+    SymPllState j = follower_with(CoinStatus::j);
+    sym.interact(f0, j);
+    EXPECT_EQ(f0.coin, CoinStatus::f0);
+    EXPECT_EQ(j.coin, CoinStatus::j);
+}
+
+TEST(SymmetricCoins, LeadersDoNotDisturbFollowerCoins) {
+    const SymmetricPll sym = make_sym();
+    SymPllState leader = leader_in(1);
+    SymPllState f0 = follower_with(CoinStatus::f0);
+    sym.interact(leader, f0);
+    EXPECT_EQ(f0.coin, CoinStatus::f0);
+}
+
+TEST(SymmetricCoins, F0IsHeadInTheLottery) {
+    const SymmetricPll sym = make_sym();
+    SymPllState leader = leader_in(1);
+    SymPllState f0 = follower_with(CoinStatus::f0);
+    sym.interact(leader, f0);
+    EXPECT_EQ(leader.level_q, 1);
+    EXPECT_FALSE(leader.done);
+    // Role does not matter — only the coin does.
+    SymPllState leader2 = leader_in(1);
+    SymPllState f0b = follower_with(CoinStatus::f0);
+    sym.interact(f0b, leader2);
+    EXPECT_EQ(leader2.level_q, 1);
+}
+
+TEST(SymmetricCoins, F1IsTailInTheLottery) {
+    const SymmetricPll sym = make_sym();
+    SymPllState leader = leader_in(1);
+    SymPllState f1 = follower_with(CoinStatus::f1);
+    sym.interact(leader, f1);
+    EXPECT_TRUE(leader.done);
+    EXPECT_EQ(leader.level_q, 0);
+}
+
+TEST(SymmetricCoins, JkFollowersYieldNoObservation) {
+    const SymmetricPll sym = make_sym();
+    SymPllState leader = leader_in(1);
+    SymPllState j = follower_with(CoinStatus::j);
+    sym.interact(leader, j);
+    EXPECT_EQ(leader.level_q, 0);
+    EXPECT_FALSE(leader.done);
+}
+
+TEST(SymmetricCoins, TournamentBitsComeFromCoins) {
+    const SymmetricPll sym = make_sym();
+    SymPllState leader = leader_in(2);
+    SymPllState f1 = follower_with(CoinStatus::f1, 2);
+    sym.interact(leader, f1);
+    EXPECT_EQ(leader.rand, 1);  // F1 appends bit 1
+    EXPECT_EQ(leader.index, 1);
+    SymPllState f0 = follower_with(CoinStatus::f0, 2);
+    sym.interact(leader, f0);
+    EXPECT_EQ(leader.rand, 2);  // F0 appends bit 0 ⇒ 0b10
+    EXPECT_EQ(leader.index, 2);
+}
+
+// --- BackUp and the duel tie-break ---------------------------------------------------
+
+TEST(SymmetricDuel, RefreshesFromCoins) {
+    const SymmetricPll sym = make_sym();
+    SymPllState leader = leader_in(4);
+    SymPllState f1 = follower_with(CoinStatus::f1, 4);
+    sym.interact(leader, f1);
+    EXPECT_EQ(leader.duel, DuelBit::one);
+    SymPllState f0 = follower_with(CoinStatus::f0, 4);
+    sym.interact(leader, f0);
+    EXPECT_EQ(leader.duel, DuelBit::zero);
+}
+
+TEST(SymmetricDuel, OpposingBitsEliminateTheOneSide) {
+    const SymmetricPll sym = make_sym();
+    SymPllState u = leader_in(4);
+    u.duel = DuelBit::zero;
+    SymPllState v = leader_in(4);
+    v.duel = DuelBit::one;
+    sym.interact(u, v);
+    EXPECT_TRUE(u.leader);
+    EXPECT_FALSE(v.leader);
+    EXPECT_EQ(u.duel, DuelBit::none);  // consumed
+    EXPECT_EQ(v.coin, CoinStatus::j);  // fresh follower
+}
+
+TEST(SymmetricDuel, EqualOrUnsetBitsDoNothing) {
+    const SymmetricPll sym = make_sym();
+    SymPllState u = leader_in(4);
+    u.duel = DuelBit::zero;
+    SymPllState v = leader_in(4);
+    v.duel = DuelBit::zero;
+    sym.interact(u, v);
+    EXPECT_TRUE(u.leader);
+    EXPECT_TRUE(v.leader);
+    SymPllState w = leader_in(4);
+    SymPllState z = leader_in(4);
+    z.duel = DuelBit::one;
+    sym.interact(w, z);
+    EXPECT_TRUE(w.leader);
+    EXPECT_TRUE(z.leader);
+}
+
+TEST(SymmetricBackUp, CoinGatedLevelClimbing) {
+    const SymmetricPll sym = make_sym();
+    // Leader whose tick raises in this interaction (colour adoption) and
+    // whose partner carries F0: climbs one level.
+    SymPllState leader = leader_in(4);
+    leader.color = 0;
+    SymPllState f0 = follower_with(CoinStatus::f0, 4);
+    f0.color = 1;
+    sym.interact(leader, f0);
+    EXPECT_EQ(leader.level_b, 1);
+    // Same setup with F1: tick raised, coin observed, but tail ⇒ no climb.
+    SymPllState leader2 = leader_in(4);
+    leader2.color = 0;
+    SymPllState f1 = follower_with(CoinStatus::f1, 4);
+    f1.color = 1;
+    sym.interact(leader2, f1);
+    EXPECT_EQ(leader2.level_b, 0);
+}
+
+// --- invariants and integration ---------------------------------------------------------
+
+TEST(SymmetricInvariants, F0AndF1CountsStayEqual) {
+    const std::size_t n = 200;
+    Engine<SymmetricPll> engine(SymmetricPll::for_population(n), n, 808);
+    const auto count_coins = [&] {
+        std::int64_t balance = 0;
+        for (const SymPllState& s : engine.population().states()) {
+            if (s.leader) continue;
+            if (s.coin == CoinStatus::f0) ++balance;
+            if (s.coin == CoinStatus::f1) --balance;
+        }
+        return balance;
+    };
+    for (int burst = 0; burst < 200; ++burst) {
+        engine.run_for(500);
+        ASSERT_EQ(count_coins(), 0) << "F0/F1 pairing broken after burst " << burst;
+        ASSERT_GE(engine.leader_count(), 1U);
+    }
+}
+
+TEST(SymmetricInvariants, RequiresAtLeastThreeAgents) {
+    EXPECT_THROW((void)SymmetricPll::for_population(2), InvalidArgument);
+    EXPECT_NO_THROW((void)SymmetricPll::for_population(3));
+}
+
+class SymmetricElection : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SymmetricElection, ElectsExactlyOneLeader) {
+    const std::size_t n = GetParam();
+    Engine<SymmetricPll> engine(SymmetricPll::for_population(n), n, 0x515 + n);
+    const double lg = std::max(1.0, std::log2(static_cast<double>(n)));
+    const auto budget = static_cast<StepCount>(800.0 * static_cast<double>(n) * lg);
+    const RunResult result = engine.run_until_one_leader(budget);
+    ASSERT_TRUE(result.converged) << "n = " << n;
+    EXPECT_EQ(result.leader_count, 1U);
+    EXPECT_TRUE(engine.verify_outputs_stable(20 * static_cast<StepCount>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(PopulationSizes, SymmetricElection,
+                         ::testing::Values(3, 4, 5, 8, 16, 33, 64, 128, 256, 1024));
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,125 @@
+// Unit tests for the PRNG suite (src/core/random.hpp): determinism,
+// platform-stable bounded sampling, stream splitting and seed derivation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/random.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForEqualSeeds) {
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += a() == b() ? 1 : 0;
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256pp, IsDeterministicForEqualSeeds) {
+    Xoshiro256pp a(7);
+    Xoshiro256pp b(7);
+    for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Xoshiro256pp, JumpProducesDisjointStreams) {
+    Xoshiro256pp base(99);
+    Xoshiro256pp jumped = base;
+    jumped.jump();
+    // The jumped stream must not collide with the base stream over a window
+    // far larger than any coincidence would allow.
+    std::set<std::uint64_t> base_values;
+    for (int i = 0; i < 4096; ++i) base_values.insert(base());
+    for (int i = 0; i < 4096; ++i) EXPECT_FALSE(base_values.contains(jumped()));
+}
+
+TEST(Xoshiro256pp, SplitStreamsAreDistinctPerIndex) {
+    const Xoshiro256pp base(5);
+    Xoshiro256pp s0 = base.split(0);
+    Xoshiro256pp s1 = base.split(1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += s0() == s1() ? 1 : 0;
+    EXPECT_LE(equal, 1);
+}
+
+TEST(UniformBelow, StaysWithinBound) {
+    Xoshiro256pp gen(11);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL, 1ULL << 40U}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(uniform_below(gen, bound), bound);
+        }
+    }
+}
+
+TEST(UniformBelow, BoundOneAlwaysYieldsZero) {
+    Xoshiro256pp gen(12);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_below(gen, 1), 0U);
+}
+
+TEST(UniformBelow, CoversAllResidues) {
+    Xoshiro256pp gen(13);
+    std::vector<int> hits(10, 0);
+    for (int i = 0; i < 10000; ++i) ++hits[uniform_below(gen, 10)];
+    for (int h : hits) EXPECT_GT(h, 0);
+    // Loose uniformity: each residue should be within 30% of the mean.
+    for (int h : hits) {
+        EXPECT_GT(h, 700);
+        EXPECT_LT(h, 1300);
+    }
+}
+
+TEST(UniformBetween, CoversClosedRange) {
+    Xoshiro256pp gen(14);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = uniform_between(gen, 5, 8);
+        EXPECT_GE(v, 5U);
+        EXPECT_LE(v, 8U);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4U);
+}
+
+TEST(UniformUnit, StaysInHalfOpenUnitInterval) {
+    Xoshiro256pp gen(15);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = uniform_unit(gen);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(CoinFlip, IsRoughlyFair) {
+    Xoshiro256pp gen(16);
+    int heads = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) heads += coin_flip(gen) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.01);
+}
+
+TEST(DeriveSeed, IsDeterministicAndSpreads) {
+    EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(derive_seed(123, i));
+    EXPECT_EQ(seeds.size(), 1000U);  // no collisions across stream indices
+    EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Xoshiro256pp, SatisfiesUniformRandomBitGenerator) {
+    static_assert(Xoshiro256pp::min() == 0);
+    static_assert(Xoshiro256pp::max() == std::numeric_limits<std::uint64_t>::max());
+    Xoshiro256pp gen(1);
+    (void)gen();
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,100 @@
+// Tests for the protocol registry and the type-erased AnyProtocol adapter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "protocols/angluin.hpp"
+#include "protocols/registry.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(Registry, ListsAllBuiltInProtocols) {
+    const auto names = ProtocolRegistry::instance().names();
+    for (const char* expected :
+         {"angluin06", "lottery", "mst18_style", "pll", "pll_symmetric"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+            << "missing protocol " << expected;
+    }
+}
+
+TEST(Registry, InfoCarriesTable1Metadata) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const ProtocolInfo& pll = registry.info("pll");
+    EXPECT_EQ(pll.theory_states, "O(log n)");
+    EXPECT_EQ(pll.theory_time, "O(log n)");
+    EXPECT_THROW((void)registry.info("nope"), InvalidArgument);
+    EXPECT_TRUE(registry.contains("pll"));
+    EXPECT_FALSE(registry.contains("nope"));
+}
+
+TEST(Registry, RunsElectionsByName) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    for (const std::string& name : registry.names()) {
+        const std::size_t n = 64;
+        const RunResult result = registry.run_election(name, n, 5, 50'000'000);
+        EXPECT_TRUE(result.converged) << name;
+        EXPECT_EQ(result.leader_count, 1U) << name;
+    }
+}
+
+TEST(Registry, VerifiedRunsConfirmStability) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const RunResult result =
+        registry.run_election_verified("pll", 128, 9, 50'000'000, 10'000);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.leader_count, 1U);
+}
+
+TEST(Registry, UnknownNamesThrow) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    EXPECT_THROW((void)registry.run_election("bogus", 16, 1, 100), InvalidArgument);
+    EXPECT_THROW((void)registry.make("bogus", 16), InvalidArgument);
+}
+
+TEST(Registry, CustomRegistration) {
+    ProtocolRegistry registry;
+    registry.register_protocol(ProtocolInfo{"my_angluin", "[local]", "O(1)", "O(n)"},
+                               [](std::size_t) { return Angluin{}; });
+    EXPECT_TRUE(registry.contains("my_angluin"));
+    const RunResult result = registry.run_election("my_angluin", 32, 3, 1'000'000);
+    EXPECT_TRUE(result.converged);
+}
+
+TEST(AnyProtocol, AdapterMatchesStaticBehaviour) {
+    const auto any = ProtocolRegistry::instance().make("angluin06", 16);
+    EXPECT_EQ(any->state_size(), sizeof(AngluinState));
+    EXPECT_EQ(any->state_bound(), 2U);
+    EXPECT_EQ(any->name(), "angluin06");
+
+    std::vector<std::byte> a(any->state_size());
+    std::vector<std::byte> b(any->state_size());
+    any->write_initial_state(a.data());
+    any->write_initial_state(b.data());
+    EXPECT_EQ(any->output(a.data()), Role::leader);
+    any->interact(a.data(), b.data());
+    EXPECT_EQ(any->output(a.data()), Role::leader);
+    EXPECT_EQ(any->output(b.data()), Role::follower);
+    EXPECT_NE(any->state_key(a.data()), any->state_key(b.data()));
+}
+
+TEST(AnyProtocol, PllAdapterUsesProtocolStateKey) {
+    const auto any = ProtocolRegistry::instance().make("pll", 64);
+    std::vector<std::byte> a(any->state_size());
+    any->write_initial_state(a.data());
+    EXPECT_EQ(any->output(a.data()), Role::leader);
+    EXPECT_GT(any->state_bound(), 2U);
+}
+
+TEST(Registry, UnimplementedRowsAreDocumented) {
+    const auto rows = unimplemented_table1_rows();
+    EXPECT_GE(rows.size(), 5U);
+    for (const ProtocolInfo& row : rows) {
+        EXPECT_FALSE(row.citation.empty());
+        EXPECT_FALSE(row.theory_states.empty());
+        EXPECT_FALSE(row.theory_time.empty());
+    }
+}
+
+}  // namespace
+}  // namespace ppsim

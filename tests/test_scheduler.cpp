@@ -1,0 +1,127 @@
+// Unit tests for schedulers (src/core/scheduler.hpp): the uniformly random
+// scheduler's distribution, and record/replay determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(UniformScheduler, RejectsDegeneratePopulations) {
+    EXPECT_THROW(UniformScheduler(0, 1), InvalidArgument);
+    EXPECT_THROW(UniformScheduler(1, 1), InvalidArgument);
+    EXPECT_NO_THROW(UniformScheduler(2, 1));
+}
+
+TEST(UniformScheduler, ProducesDistinctAgentsInRange) {
+    UniformScheduler scheduler(5, 42);
+    for (int i = 0; i < 10000; ++i) {
+        const Interaction ia = scheduler.next();
+        EXPECT_LT(ia.initiator, 5U);
+        EXPECT_LT(ia.responder, 5U);
+        EXPECT_NE(ia.initiator, ia.responder);
+    }
+}
+
+TEST(UniformScheduler, EqualSeedsGiveEqualSchedules) {
+    UniformScheduler a(10, 7);
+    UniformScheduler b(10, 7);
+    for (int i = 0; i < 1000; ++i) {
+        const Interaction ia = a.next();
+        const Interaction ib = b.next();
+        EXPECT_EQ(ia, ib);
+    }
+}
+
+// The model requires every ordered pair (u, v), u != v, with probability
+// 1/(n(n−1)). Check all 12 ordered pairs of n = 4 stay within 10% of uniform
+// over a large sample — this is what makes the role-based coin flips of PLL
+// fair, so it deserves a direct test.
+TEST(UniformScheduler, OrderedPairsAreUniform) {
+    const std::size_t n = 4;
+    UniformScheduler scheduler(n, 1234);
+    std::map<std::pair<AgentId, AgentId>, int> counts;
+    const int trials = 240000;
+    for (int i = 0; i < trials; ++i) {
+        const Interaction ia = scheduler.next();
+        ++counts[{ia.initiator, ia.responder}];
+    }
+    EXPECT_EQ(counts.size(), n * (n - 1));
+    const double expected = static_cast<double>(trials) / (n * (n - 1));
+    for (const auto& [pair, count] : counts) {
+        EXPECT_NEAR(count, expected, 0.1 * expected)
+            << "pair (" << pair.first << "," << pair.second << ")";
+    }
+}
+
+// Both orderings of each unordered pair must be equally likely: this is the
+// initiator-coin fairness property (§3.1.1 of the paper).
+TEST(UniformScheduler, RolesWithinPairsAreFair) {
+    const std::size_t n = 6;
+    UniformScheduler scheduler(n, 99);
+    int forward = 0;
+    int backward = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const Interaction ia = scheduler.next();
+        if (ia.initiator == 0 && ia.responder == 1) ++forward;
+        if (ia.initiator == 1 && ia.responder == 0) ++backward;
+    }
+    const double total = forward + backward;
+    ASSERT_GT(total, 0);
+    EXPECT_NEAR(forward / total, 0.5, 0.05);
+}
+
+TEST(RecordedSchedule, AppendsAndIndexes) {
+    RecordedSchedule schedule;
+    EXPECT_TRUE(schedule.empty());
+    schedule.append(0, 1);
+    schedule.append(Interaction{2, 3});
+    EXPECT_EQ(schedule.size(), 2U);
+    EXPECT_EQ(schedule[0], (Interaction{0, 1}));
+    EXPECT_EQ(schedule[1], (Interaction{2, 3}));
+}
+
+TEST(RecordedSchedule, ValidateRejectsBadSchedules) {
+    RecordedSchedule self_loop;
+    self_loop.append(1, 1);
+    EXPECT_THROW(self_loop.validate(4), InvalidArgument);
+
+    RecordedSchedule out_of_range;
+    out_of_range.append(0, 9);
+    EXPECT_THROW(out_of_range.validate(4), InvalidArgument);
+
+    RecordedSchedule good;
+    good.append(0, 3);
+    EXPECT_NO_THROW(good.validate(4));
+}
+
+TEST(ReplayScheduler, ReplaysInOrderAndThrowsWhenExhausted) {
+    RecordedSchedule schedule;
+    schedule.append(0, 1);
+    schedule.append(1, 2);
+    ReplayScheduler replay(schedule);
+    EXPECT_EQ(replay.remaining(), 2U);
+    EXPECT_EQ(replay.next(), (Interaction{0, 1}));
+    EXPECT_EQ(replay.next(), (Interaction{1, 2}));
+    EXPECT_EQ(replay.remaining(), 0U);
+    EXPECT_THROW((void)replay.next(), InvariantViolation);
+}
+
+TEST(RecordingScheduler, CapturesForwardedInteractions) {
+    RecordingScheduler<UniformScheduler> recording(UniformScheduler(8, 3));
+    std::vector<Interaction> drawn;
+    for (int i = 0; i < 50; ++i) drawn.push_back(recording.next());
+    ASSERT_EQ(recording.record().size(), drawn.size());
+    for (std::size_t i = 0; i < drawn.size(); ++i) {
+        EXPECT_EQ(recording.record()[i], drawn[i]);
+    }
+    // A replay of the record reproduces the run exactly.
+    ReplayScheduler replay(recording.record());
+    for (const Interaction& ia : drawn) EXPECT_EQ(replay.next(), ia);
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,212 @@
+// Unit tests for the statistics toolkit (src/core/stats.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/common.hpp"
+
+namespace ppsim {
+namespace {
+
+TEST(RunningStats, MatchesHandComputedMoments) {
+    RunningStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+    EXPECT_EQ(stats.count(), 8U);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    // Sample variance of the classic dataset: Σ(x−5)² = 32, / 7.
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingletonAreSafe) {
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0U);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.sem(), 0.0);
+    stats.add(3.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequentialAccumulation) {
+    RunningStats all;
+    RunningStats left;
+    RunningStats right;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        all.add(x);
+        (i % 2 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySidesIsIdentity) {
+    RunningStats a;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats empty;
+    RunningStats b = a;
+    b.merge(empty);
+    EXPECT_DOUBLE_EQ(b.mean(), a.mean());
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), a.mean());
+}
+
+TEST(RunningStats, CiHalfWidthLevels) {
+    RunningStats stats;
+    for (int i = 0; i < 100; ++i) stats.add(static_cast<double>(i % 10));
+    const double ci90 = stats.ci_half_width(0.90);
+    const double ci95 = stats.ci_half_width(0.95);
+    const double ci99 = stats.ci_half_width(0.99);
+    EXPECT_LT(ci90, ci95);
+    EXPECT_LT(ci95, ci99);
+    EXPECT_THROW(stats.ci_half_width(0.5), InvalidArgument);
+}
+
+TEST(SampleSet, PercentilesInterpolate) {
+    SampleSet s;
+    for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+    EXPECT_DOUBLE_EQ(s.median(), 25.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);
+}
+
+TEST(SampleSet, GuardsDegenerateInput) {
+    SampleSet s;
+    EXPECT_THROW((void)s.percentile(50.0), InvalidArgument);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+    EXPECT_THROW((void)s.percentile(101.0), InvalidArgument);
+}
+
+TEST(SampleSet, MeanAndVarianceAgreeWithRunningStats) {
+    SampleSet s;
+    RunningStats r;
+    for (int i = 0; i < 57; ++i) {
+        const double x = std::cos(i) * 3.0 + i;
+        s.add(x);
+        r.add(x);
+    }
+    EXPECT_NEAR(s.mean(), r.mean(), 1e-9);
+    EXPECT_NEAR(s.variance(), r.variance(), 1e-9);
+}
+
+TEST(Histogram, BinsAndSaturatesEdges) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);  // clamps into first bin
+    h.add(0.5);
+    h.add(9.9);
+    h.add(100.0);  // clamps into last bin
+    EXPECT_EQ(h.total(), 4U);
+    EXPECT_EQ(h.bin(0), 2U);
+    EXPECT_EQ(h.bin(4), 2U);
+    EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_upper(4), 10.0);
+    EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+    EXPECT_THROW(Histogram(0.0, 0.0, 5), InvalidArgument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(FrequencyTable, CountsAndFractions) {
+    FrequencyTable t;
+    t.add(1);
+    t.add(1);
+    t.add(3);
+    EXPECT_EQ(t.total(), 3U);
+    EXPECT_EQ(t.count(1), 2U);
+    EXPECT_EQ(t.count(2), 0U);
+    EXPECT_EQ(t.count(99), 0U);
+    EXPECT_DOUBLE_EQ(t.fraction(1), 2.0 / 3.0);
+    EXPECT_EQ(t.max_key(), 3U);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1
+    const LinearFit fit = fit_linear(x, y);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RejectsMismatchedOrTinyInput) {
+    std::vector<double> x{1, 2};
+    std::vector<double> y{1};
+    EXPECT_THROW((void)fit_linear(x, y), InvalidArgument);
+    std::vector<double> one{1};
+    EXPECT_THROW((void)fit_linear(one, one), InvalidArgument);
+}
+
+TEST(FitLog2, RecoversLogarithmicGrowth) {
+    // y = 4·log2(x) + 2 — the shape of Theorem 1's stabilisation time.
+    std::vector<double> x{16, 64, 256, 1024, 4096};
+    std::vector<double> y;
+    for (double v : x) y.push_back(4.0 * std::log2(v) + 2.0);
+    const LinearFit fit = fit_log2(x, y);
+    EXPECT_NEAR(fit.slope, 4.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+    // y = 0.5·x^1.0 — the shape of the Ω(n) lower bound on [Ang+06].
+    std::vector<double> x{100, 200, 400, 800};
+    std::vector<double> y;
+    for (double v : x) y.push_back(0.5 * v);
+    const LinearFit fit = fit_power_law(x, y);
+    EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(WilsonInterval, BracketsTheEstimate) {
+    const ProportionCi ci = wilson_interval(50, 100);
+    EXPECT_NEAR(ci.estimate, 0.5, 1e-12);
+    EXPECT_LT(ci.lower, 0.5);
+    EXPECT_GT(ci.upper, 0.5);
+    EXPECT_GT(ci.lower, 0.38);
+    EXPECT_LT(ci.upper, 0.62);
+}
+
+TEST(WilsonInterval, HandlesExtremesAndRejectsBadInput) {
+    const ProportionCi none = wilson_interval(0, 50);
+    EXPECT_DOUBLE_EQ(none.estimate, 0.0);
+    EXPECT_GE(none.lower, 0.0);
+    EXPECT_GT(none.upper, 0.0);
+    const ProportionCi all = wilson_interval(50, 50);
+    EXPECT_LE(all.upper, 1.0);
+    EXPECT_LT(all.lower, 1.0);
+    EXPECT_THROW((void)wilson_interval(1, 0), InvalidArgument);
+    EXPECT_THROW((void)wilson_interval(5, 4), InvalidArgument);
+}
+
+TEST(CommonHelpers, CeilAndFloorLog2) {
+    EXPECT_EQ(ceil_log2(1), 0U);
+    EXPECT_EQ(ceil_log2(2), 1U);
+    EXPECT_EQ(ceil_log2(3), 2U);
+    EXPECT_EQ(ceil_log2(1024), 10U);
+    EXPECT_EQ(ceil_log2(1025), 11U);
+    EXPECT_EQ(floor_log2(1), 0U);
+    EXPECT_EQ(floor_log2(1023), 9U);
+    EXPECT_EQ(floor_log2(1024), 10U);
+}
+
+TEST(CommonHelpers, ParallelTimeConversion) {
+    EXPECT_DOUBLE_EQ(to_parallel_time(1000, 100), 10.0);
+    EXPECT_DOUBLE_EQ(to_parallel_time(0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(to_parallel_time(5, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ppsim
