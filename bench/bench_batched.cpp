@@ -1,0 +1,122 @@
+// Scaling benchmarks for the count-based BatchedEngine vs the agent-based
+// Engine: interactions/second as a function of population size, per
+// protocol. The batched engine's per-interaction cost *falls* with n
+// (batches are Θ(√n) interactions amortising Θ(#live states) sampling
+// work), so the curves cross: the agent engine wins while its population
+// array is cache-resident, the batched engine wins beyond — by orders of
+// magnitude at n ≥ 2^24, which is exactly the regime where the paper's
+// Θ(log n) trend separates from the alternatives.
+#include <benchmark/benchmark.h>
+
+#include "core/batched_engine.hpp"
+#include "core/engine.hpp"
+#include "protocols/angluin.hpp"
+#include "protocols/loose.hpp"
+#include "protocols/lottery.hpp"
+#include "protocols/pll.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+// Each benchmark iteration advances a persistent engine by a fixed chunk of
+// interactions, so the reported items/s is interactions/s mid-run (not
+// engine construction, and not the converged fixed point only).
+constexpr StepCount chunk = 1 << 14;
+
+template <typename P>
+void run_batched(benchmark::State& state, P proto) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    BatchedEngine<P> engine(std::move(proto), n, 42);
+    StepCount done = 0;
+    for (auto _ : state) {
+        const StepCount before = engine.steps();
+        benchmark::DoNotOptimize(engine.run_for(chunk));
+        done += engine.steps() - before;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+
+template <typename P>
+void run_agent(benchmark::State& state, P proto) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Engine<P> engine(std::move(proto), n, 42);
+    StepCount done = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run_for(chunk));
+        done += chunk;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+
+void BM_BatchedAngluin(benchmark::State& state) { run_batched(state, Angluin{}); }
+// Up to n = 10^8: the regime the ISSUE targets. The count representation is
+// O(#states), so memory stays trivial where the agent engine would need
+// gigabytes.
+BENCHMARK(BM_BatchedAngluin)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 20)
+    ->Arg(1 << 24)
+    ->Arg(100'000'000);
+
+void BM_AgentAngluin(benchmark::State& state) { run_agent(state, Angluin{}); }
+BENCHMARK(BM_AgentAngluin)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_BatchedLottery(benchmark::State& state) {
+    run_batched(state, Lottery::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_BatchedLottery)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 20)
+    ->Arg(1 << 24)
+    ->Arg(100'000'000);
+
+void BM_AgentLottery(benchmark::State& state) {
+    run_agent(state, Lottery::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_AgentLottery)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_BatchedLoose(benchmark::State& state) {
+    run_batched(state,
+                LooselyStabilizing::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_BatchedLoose)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_AgentLoose(benchmark::State& state) {
+    run_agent(state,
+              LooselyStabilizing::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_AgentLoose)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_BatchedPll(benchmark::State& state) {
+    run_batched(state, Pll::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_BatchedPll)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_AgentPll(benchmark::State& state) {
+    run_agent(state, Pll::for_population(static_cast<std::size_t>(state.range(0))));
+}
+// 2^24 PLL agents are a 256 MB population — still benchable, and the cache
+// cliff it demonstrates is the point of the comparison.
+BENCHMARK(BM_AgentPll)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 20)->Arg(1 << 24);
+
+// Full elections, end to end: the batched engine makes large-n elections
+// routine. (The agent-engine counterpart at this size is bench_scaling's
+// job and takes minutes per election.)
+void BM_BatchedPllElection(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::uint64_t seed = 7;
+    for (auto _ : state) {
+        BatchedEngine<Pll> engine(Pll::for_population(n), n, seed++);
+        const RunResult r = engine.run_until_one_leader(
+            static_cast<StepCount>(static_cast<double>(n) * 4000.0 * 20.0));
+        benchmark::DoNotOptimize(r.converged);
+    }
+}
+BENCHMARK(BM_BatchedPllElection)->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

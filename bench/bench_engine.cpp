@@ -27,6 +27,21 @@ void BM_SchedulerNext(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerNext)->Arg(1024)->Arg(1 << 16);
 
+// Baseline for the scheduler's single-draw fast path: the original two-draw
+// pair sampler (one uniform_below per agent), inlined here for comparison.
+void BM_SchedulerNextTwoDraw(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    for (auto _ : state) {
+        const auto a = static_cast<AgentId>(uniform_below(rng, n));
+        auto b = static_cast<AgentId>(uniform_below(rng, n - 1));
+        if (b >= a) ++b;
+        benchmark::DoNotOptimize(Interaction{a, b});
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SchedulerNextTwoDraw)->Arg(1024)->Arg(1 << 16);
+
 template <typename P>
 void run_steps(benchmark::State& state, P proto) {
     const auto n = static_cast<std::size_t>(state.range(0));

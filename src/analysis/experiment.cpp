@@ -53,6 +53,7 @@ SweepResult run_sweep(const SweepConfig& config) {
 
     SweepResult result;
     result.protocol = config.protocol;
+    result.engine = config.engine;
     for (const std::size_t n : config.sizes) {
         SweepPoint point;
         point.n = n;
@@ -67,8 +68,9 @@ SweepResult run_sweep(const SweepConfig& config) {
                 const RunResult run =
                     config.verify_steps > 0
                         ? registry.run_election_verified(config.protocol, n, seed, max_steps,
-                                                         config.verify_steps)
-                        : registry.run_election(config.protocol, n, seed, max_steps);
+                                                         config.verify_steps, config.engine)
+                        : registry.run_election(config.protocol, n, seed, max_steps,
+                                                config.engine);
                 const std::lock_guard lock(merge_mutex);
                 if (run.converged && run.stabilization_step) {
                     const double t = run.stabilization_parallel_time(n);

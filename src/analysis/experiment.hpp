@@ -32,6 +32,9 @@ struct SweepConfig {
     std::size_t repetitions = 30;   ///< runs per size
     std::uint64_t seed = 0xACE1ULL; ///< root seed; rep i uses derive_seed(seed, i)
     std::size_t threads = 0;        ///< 0 = hardware concurrency
+    /// Simulation back-end: per-interaction agent engine or count-based
+    /// batched engine (same distribution, far faster at large n).
+    EngineKind engine = EngineKind::agent;
     /// Step budget per n; defaults to StepBudget::n_log_n.
     std::function<StepCount(std::size_t)> budget;
     /// Extra steps of output-stability verification after convergence
@@ -51,6 +54,7 @@ struct SweepPoint {
 /// Results of a full sweep.
 struct SweepResult {
     std::string protocol;
+    EngineKind engine = EngineKind::agent;  ///< back-end the sweep ran on
     std::vector<SweepPoint> points;
 
     /// Least-squares fit of mean stabilisation time against log2(n).

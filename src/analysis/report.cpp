@@ -60,6 +60,7 @@ std::string render_comparison_table(const std::vector<SweepResult>& sweeps,
 JsonValue sweep_to_json(const SweepResult& sweep) {
     JsonValue root = JsonValue::object();
     root.set("protocol", sweep.protocol);
+    root.set("engine", to_string(sweep.engine));
     JsonValue points = JsonValue::array();
     for (const SweepPoint& p : sweep.points) {
         JsonValue point = JsonValue::object();

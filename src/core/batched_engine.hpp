@@ -1,0 +1,626 @@
+/// \file batched_engine.hpp
+/// \brief Count-based batched simulation engine: Gillespie-style simulation
+/// of the population-protocol model with sub-constant expected cost per
+/// interaction at large n.
+///
+/// The agent-based `Engine<P>` pays one PRNG draw plus one transition plus
+/// two random memory accesses per interaction — Θ(n log n) sequential work
+/// per stabilisation run. This engine instead represents the configuration
+/// as a dense vector of per-state *counts* (states interned on first sight
+/// by `StateIndex`) and advances time in batches, following the scheme of
+/// Berenbrink, Hammer, Kaaser, Meyer, Penschuck and Tran ("Simulating
+/// Population Protocols in Sub-Constant Time per Interaction", ESA 2020),
+/// the same algorithm behind Doty & Severson's `ppsim` package:
+///
+///  1. Sample the collision-free run length L — the number of consecutive
+///     interactions whose 2L agents are all distinct (birthday problem,
+///     E[L] = Θ(√n)) — directly from its survival function.
+///  2. The 2L agents are a uniform sample without replacement, so the
+///     initiator and responder state multisets come from multivariate
+///     hypergeometric chains over the count vector, and the pairing between
+///     them is a uniform random bijection (sampled either by nested
+///     hypergeometric chains when few distinct states are live, or by a
+///     Fisher–Yates shuffle of the expanded responder multiset otherwise).
+///  3. Each distinct ordered state pair (q_u, q_v) is applied through a
+///     memoised transition table (dense matrix for low ids, hash map
+///     beyond) and its count delta scaled by the pair's multiplicity —
+///     O(#distinct pairs) transition evaluations, not O(#interactions).
+///  4. The interaction that ends the batch involves at least one
+///     already-touched agent; it is sampled exactly from the conditional
+///     distribution (both-touched : touched-untouched : untouched-touched
+///     with weights t(t−1) : t(n−t) : (n−t)t) and applied individually.
+///
+/// Every step of the construction reproduces the model's semantics in
+/// distribution: ordered pairs stay uniform, and the initiator/responder
+/// asymmetry (PLL's coin flips) is preserved because initiator and responder
+/// multisets are sampled per slot parity, never merged.
+///
+/// The stabilisation step is recorded *exactly*, not at batch granularity:
+/// when a batch crosses to a single leader, the per-pair leader deltas are
+/// replayed in a uniformly shuffled order (the pair sequence is exchangeable,
+/// so a uniform permutation is the exact conditional order distribution) to
+/// locate the crossing interaction. This happens at most once per run for
+/// the absorbing single-leader predicate. For protocols where one leader is
+/// NOT absorbing (the loosely-stabilising baseline), a transient mid-batch
+/// visit to a single leader that the batch leaves again is not observed —
+/// leader-count detection is then batch-granular, a documented deviation
+/// from the agent engine (see README "Choosing an engine").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "engine.hpp"  // RunResult
+#include "population.hpp"
+#include "protocol.hpp"
+#include "random.hpp"
+#include "state_index.hpp"
+
+namespace ppsim {
+
+/// Count-based batched simulation engine. Drop-in alternative to Engine<P>
+/// for the run/verify surface (run_until_one_leader, run_for,
+/// verify_outputs_stable, RunResult), minus per-agent observation — a
+/// count-based configuration has no agent identities.
+template <typename P>
+    requires InternableProtocol<P>
+class BatchedEngine {
+public:
+    using State = typename P::State;
+
+    BatchedEngine(P protocol, std::size_t n, std::uint64_t seed)
+        : protocol_(std::move(protocol)), n_(n), rng_(seed), run_sampler_(n) {
+        require(n >= 2, "population must contain at least two agents");
+        // The collision-step case weights t(t−1) and t(n−t) are computed in
+        // 64 bits; with t = Θ(√n) they stay far below 2^64 for any n ≤ 2^32,
+        // which is also the agent-id ceiling of the rest of the library.
+        require(n <= (std::uint64_t{1} << 32U),
+                "batched engine supports populations up to 2^32 agents");
+        const StateId init = intern(protocol_.initial_state());
+        counts_[init] = n_;
+        make_live(init);
+        leader_count_ = index_.is_leader(init) ? n_ : 0;
+        initiators_.reserve(64);
+        responders_.reserve(64);
+        pair_list_.reserve(64);
+        touched_ids_.reserve(64);
+    }
+
+    // --- observation ------------------------------------------------------
+
+    [[nodiscard]] std::size_t population_size() const noexcept { return n_; }
+    [[nodiscard]] StepCount steps() const noexcept { return steps_; }
+    [[nodiscard]] double parallel_time() const noexcept {
+        return to_parallel_time(steps_, n_);
+    }
+    [[nodiscard]] std::size_t leader_count() const noexcept { return leader_count_; }
+    [[nodiscard]] const P& protocol() const noexcept { return protocol_; }
+    [[nodiscard]] std::optional<StepCount> stabilization_step() const noexcept {
+        return first_single_leader_step_;
+    }
+
+    /// Exact count of agents currently in state `s` (0 when never interned).
+    [[nodiscard]] std::uint64_t count_of(const State& s) const {
+        const std::optional<StateId> id = index_.find(state_key_of(protocol_, s));
+        return id ? counts_[*id] : 0;
+    }
+
+    /// Number of distinct states with a non-zero count.
+    [[nodiscard]] std::size_t live_state_count() const noexcept {
+        std::size_t live = 0;
+        for (const std::uint64_t c : counts_) live += c != 0 ? 1 : 0;
+        return live;
+    }
+
+    /// Sum of all counts — the population size, by conservation.
+    [[nodiscard]] std::uint64_t total_count() const noexcept {
+        std::uint64_t total = 0;
+        for (const std::uint64_t c : counts_) total += c;
+        return total;
+    }
+
+    /// Recomputes the leader count from the count vector (tests / checks).
+    std::size_t recount_leaders() {
+        std::uint64_t leaders = 0;
+        for (StateId id = 0; id < counts_.size(); ++id) {
+            if (index_.is_leader(id)) leaders += counts_[id];
+        }
+        leader_count_ = leaders;
+        return leader_count_;
+    }
+
+    // --- execution --------------------------------------------------------
+
+    /// Runs until exactly one leader remains or `max_steps` further steps
+    /// have been executed, whichever comes first. The final batch may run a
+    /// few interactions past the stabilisation step (they cannot change the
+    /// outcome: single-leader is absorbing); `stabilization_step` is exact.
+    RunResult run_until_one_leader(StepCount max_steps) {
+        StepCount executed = 0;
+        while (leader_count_ != 1 && executed < max_steps) {
+            executed += round(max_steps - executed);
+        }
+        return make_result(leader_count_ == 1);
+    }
+
+    /// Runs exactly `count` steps: the final batch's collision-free run is
+    /// clamped to the remaining budget, so there is no overrun.
+    RunResult run_for(StepCount count) {
+        StepCount executed = 0;
+        while (executed < count) executed += round(count - executed);
+        return make_result(leader_count_ == 1);
+    }
+
+    /// Runs `count` additional steps and reports whether any agent's output
+    /// changed during them (and the leader count stayed put).
+    [[nodiscard]] bool verify_outputs_stable(StepCount count) {
+        const std::size_t leaders_before = leader_count_;
+        role_change_seen_ = false;
+        StepCount executed = 0;
+        while (executed < count) executed += round(count - executed);
+        return !role_change_seen_ && leader_count_ == leaders_before;
+    }
+
+private:
+    /// One memoised transition: output ids plus the leader-count delta and
+    /// whether any output symbol changed (verify_outputs_stable). out_a ==
+    /// invalid_state marks an empty dense-matrix slot.
+    struct CachedTransition {
+        StateId out_a = invalid_state;
+        StateId out_b = invalid_state;
+        std::int8_t leader_delta = 0;
+        bool role_changed = false;
+    };
+
+    /// One aggregated batch entry: ordered state pair and its multiplicity.
+    struct PairCount {
+        StateId a;
+        StateId b;
+        std::uint64_t mult;
+    };
+
+    static constexpr StateId invalid_state = std::numeric_limits<StateId>::max();
+    /// Transitions between ids below the current dense dimension live in a
+    /// flat matrix (2–3 ns lookups; the hot sub-block is small and cache
+    /// resident); the dimension doubles with the interned state count up to
+    /// this cap, beyond which an open-addressing table takes over.
+    static constexpr StateId dense_cap = 1024;
+
+    /// Minimal open-addressing hash table for transitions between high ids
+    /// (protocols with thousands of live states, e.g. PLL's timer×colour
+    /// product). Linear probing over a power-of-two slot array: one cache
+    /// line per hit in the common case, vs. two-plus for unordered_map.
+    class FlatTransitionMap {
+    public:
+        [[nodiscard]] CachedTransition* find(std::uint64_t key) noexcept {
+            if (slots_.empty()) return nullptr;
+            for (std::size_t i = mix(key) & mask_;; i = (i + 1) & mask_) {
+                Slot& slot = slots_[i];
+                if (slot.value.out_a == invalid_state) return nullptr;
+                if (slot.key == key) return &slot.value;
+            }
+        }
+
+        CachedTransition* insert(std::uint64_t key, const CachedTransition& value) {
+            if (slots_.empty()) rehash(1024);
+            if ((size_ + 1) * 10 > slots_.size() * 7) rehash(slots_.size() * 2);
+            for (std::size_t i = mix(key) & mask_;; i = (i + 1) & mask_) {
+                Slot& slot = slots_[i];
+                if (slot.value.out_a == invalid_state) {
+                    slot.key = key;
+                    slot.value = value;
+                    ++size_;
+                    return &slot.value;
+                }
+            }
+        }
+
+    private:
+        struct Slot {
+            std::uint64_t key = 0;
+            CachedTransition value;  // out_a == invalid_state marks empty
+        };
+
+        [[nodiscard]] static std::uint64_t mix(std::uint64_t key) noexcept {
+            key ^= key >> 33U;
+            key *= 0xff51afd7ed558ccdULL;
+            key ^= key >> 33U;
+            return key;
+        }
+
+        void rehash(std::size_t capacity) {
+            std::vector<Slot> old = std::move(slots_);
+            slots_.assign(capacity, Slot{});
+            mask_ = capacity - 1;
+            size_ = 0;
+            for (const Slot& slot : old) {
+                if (slot.value.out_a != invalid_state) insert(slot.key, slot.value);
+            }
+        }
+
+        std::vector<Slot> slots_;
+        std::size_t mask_ = 0;
+        std::size_t size_ = 0;
+    };
+
+    // --- interning --------------------------------------------------------
+
+    StateId intern(const State& s) {
+        const StateId id = index_.intern(protocol_, s);
+        if (index_.size() > counts_.size()) {
+            counts_.resize(index_.size(), 0);
+            touched_.resize(index_.size(), 0);
+            in_live_.resize(index_.size(), 0);
+        }
+        return id;
+    }
+
+    void make_live(StateId id) {
+        if (in_live_[id] == 0) {
+            in_live_[id] = 1;
+            live_ids_.push_back(id);
+        }
+    }
+
+    const CachedTransition& transition(StateId a, StateId b) {
+        if (a < dense_dim_ && b < dense_dim_) {
+            CachedTransition& slot = dense_cache_[a * dense_dim_ + b];
+            if (slot.out_a == invalid_state) slot = compute_transition(a, b);
+            return slot;
+        }
+        if (a < dense_cap && b < dense_cap) {
+            grow_dense(std::max(a, b));
+            CachedTransition& slot = dense_cache_[a * dense_dim_ + b];
+            if (slot.out_a == invalid_state) slot = compute_transition(a, b);
+            return slot;
+        }
+        const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32U) | b;
+        if (CachedTransition* hit = overflow_cache_.find(key)) return *hit;
+        return *overflow_cache_.insert(key, compute_transition(a, b));
+    }
+
+    CachedTransition compute_transition(StateId a, StateId b) {
+        State sa = index_.state(a);  // copies: intern() may reallocate
+        State sb = index_.state(b);
+        const Role role_a = index_.role(a);
+        const Role role_b = index_.role(b);
+        const int before = static_cast<int>(role_a == Role::leader) +
+                           static_cast<int>(role_b == Role::leader);
+        protocol_.interact(sa, sb);
+        CachedTransition tr;
+        tr.out_a = intern(sa);
+        tr.out_b = intern(sb);
+        const int after = static_cast<int>(index_.is_leader(tr.out_a)) +
+                          static_cast<int>(index_.is_leader(tr.out_b));
+        tr.leader_delta = static_cast<std::int8_t>(after - before);
+        tr.role_changed =
+            index_.role(tr.out_a) != role_a || index_.role(tr.out_b) != role_b;
+        return tr;
+    }
+
+    /// Doubles the dense matrix dimension to cover id `needed` (< dense_cap).
+    /// Cached entries are dropped and lazily recomputed — growth happens a
+    /// handful of times per engine lifetime.
+    void grow_dense(StateId needed) {
+        StateId dim = dense_dim_ == 0 ? 64 : dense_dim_;
+        while (dim <= needed) dim *= 2;
+        dense_dim_ = dim;
+        dense_cache_.assign(static_cast<std::size_t>(dim) * dim, CachedTransition{});
+    }
+
+    // --- batch round ------------------------------------------------------
+
+    /// Executes one batch of at most `budget` interactions; returns the
+    /// number executed (≥ 1 for budget ≥ 1).
+    StepCount round(StepCount budget) {
+        if (budget == 0) return 0;
+        const std::uint64_t run = run_sampler_.sample(rng_);
+        // Room for the batch-ending collision interaction only when the
+        // whole collision-free run fits in the budget.
+        const bool with_collision = budget > run;
+        const std::uint64_t fresh = with_collision ? run : budget;
+
+        untouched_ = n_;
+        touched_total_ = 0;
+
+        sample_fresh_pairs(fresh);
+        apply_pairs(fresh);
+        StepCount executed = fresh;
+        if (with_collision) {
+            collision_step();
+            ++executed;
+        }
+        merge_touched();
+        return executed;
+    }
+
+    /// Draws a without-replacement multiset of `k` agents' states from the
+    /// untouched counts (multivariate hypergeometric chain) into `out`.
+    /// `compact` additionally drops dead ids from the live list — only legal
+    /// on the first chain of a round, when a zero count means genuinely
+    /// empty rather than in-flight.
+    void sample_multiset(std::uint64_t k,
+                         std::vector<std::pair<StateId, std::uint64_t>>& out,
+                         bool compact) {
+        out.clear();
+        std::uint64_t pool = untouched_;
+        std::size_t i = 0;
+        while (i < live_ids_.size()) {
+            const StateId id = live_ids_[i];
+            const std::uint64_t c = counts_[id];
+            if (c == 0) {
+                if (compact) {
+                    in_live_[id] = 0;
+                    live_ids_[i] = live_ids_.back();
+                    live_ids_.pop_back();
+                    continue;  // revisit index i (swapped-in id)
+                }
+                ++i;
+                continue;
+            }
+            if (k == 0) break;
+            const std::uint64_t x = hypergeometric(rng_, pool, c, k);
+            pool -= c;
+            if (x > 0) {
+                out.emplace_back(id, x);
+                counts_[id] -= x;
+                untouched_ -= x;
+                k -= x;
+            }
+            ++i;
+        }
+        if (k != 0) [[unlikely]] {  // cheap check: no string temporary on the hot path
+            ensure(false, "hypergeometric chain under-drew the batch multiset");
+        }
+    }
+
+    /// Samples the `fresh` ordered state pairs of the collision-free run:
+    /// initiator multiset, responder multiset, then a uniform random
+    /// bijection between them. Two exact pairing strategies with different
+    /// cost profiles: nested hypergeometric chains cost
+    /// O(#distinct_I · #distinct_R) sampler calls, the shuffle costs
+    /// O(fresh) PRNG draws — pick the cheaper. The counts path fills
+    /// pair_list_; the shuffle path leaves the pairs in scratch_a_/scratch_b_
+    /// (pair i = (scratch_a_[i], scratch_b_[i]), multiplicity 1).
+    void sample_fresh_pairs(std::uint64_t fresh) {
+        pair_list_.clear();
+        scratch_a_.clear();
+        scratch_b_.clear();
+        sample_multiset(fresh, initiators_, /*compact=*/true);
+        sample_multiset(fresh, responders_, /*compact=*/false);
+        if (initiators_.size() * responders_.size() <= fresh) {
+            pair_via_counts(fresh);
+        } else {
+            pair_via_shuffle(fresh);
+        }
+    }
+
+    /// Uniform bijection via nested hypergeometric chains: the responders
+    /// matched to one initiator state's block form a without-replacement
+    /// sample of the remaining responder multiset.
+    void pair_via_counts(std::uint64_t fresh) {
+        std::uint64_t responders_left = fresh;
+        for (const auto& [state_a, count_a] : initiators_) {
+            std::uint64_t want = count_a;
+            std::uint64_t pool = responders_left;
+            for (auto& [state_b, count_b] : responders_) {
+                if (want == 0) break;
+                if (count_b == 0) continue;
+                const std::uint64_t y = hypergeometric(rng_, pool, count_b, want);
+                pool -= count_b;
+                if (y > 0) {
+                    pair_list_.push_back(PairCount{state_a, state_b, y});
+                    count_b -= y;
+                    want -= y;
+                    responders_left -= y;
+                }
+            }
+            if (want != 0) [[unlikely]] {
+                ensure(false, "bipartite matching chain under-matched");
+            }
+        }
+    }
+
+    /// Uniform bijection via Fisher–Yates: expand the responder multiset and
+    /// shuffle it against the (fixed-order) initiator expansion.
+    void pair_via_shuffle(std::uint64_t fresh) {
+        for (const auto& [state_a, count_a] : initiators_) {
+            scratch_a_.insert(scratch_a_.end(), count_a, state_a);
+        }
+        for (const auto& [state_b, count_b] : responders_) {
+            scratch_b_.insert(scratch_b_.end(), count_b, state_b);
+        }
+        shuffle_vector(scratch_b_, rng_);
+    }
+
+    /// Applies every pair of the batch through the transition cache; locates
+    /// the exact stabilisation step when this batch crosses to one leader.
+    void apply_pairs(std::uint64_t fresh) {
+        const StepCount steps_before = steps_;
+        std::int64_t delta_total = 0;
+        bool role_changed = false;
+        if (!pair_list_.empty()) {
+            for (const PairCount& pc : pair_list_) {
+                const CachedTransition& tr = transition(pc.a, pc.b);
+                touch(tr.out_a, pc.mult);
+                touch(tr.out_b, pc.mult);
+                delta_total += static_cast<std::int64_t>(tr.leader_delta) *
+                               static_cast<std::int64_t>(pc.mult);
+                role_changed |= tr.role_changed;
+            }
+        } else {
+            for (std::uint64_t i = 0; i < fresh; ++i) {
+                const CachedTransition& tr = transition(scratch_a_[i], scratch_b_[i]);
+                touch(tr.out_a, 1);
+                touch(tr.out_b, 1);
+                delta_total += tr.leader_delta;
+                role_changed |= tr.role_changed;
+            }
+        }
+        role_change_seen_ = role_change_seen_ || role_changed;
+        steps_ += fresh;
+        const auto post = static_cast<std::size_t>(
+            static_cast<std::int64_t>(leader_count_) + delta_total);
+        if (!first_single_leader_step_ && post == 1 && leader_count_ != 1) {
+            first_single_leader_step_ = steps_before + crossing_offset(fresh);
+        }
+        leader_count_ = post;
+    }
+
+    /// The batch's pairs are exchangeable, so conditioned on the multiset
+    /// their order is a uniform permutation: shuffle the per-pair leader
+    /// deltas and scan for the first prefix reaching exactly one leader.
+    /// Called at most once per run (single-leader is absorbing).
+    [[nodiscard]] std::uint64_t crossing_offset(std::uint64_t fresh) {
+        scratch_deltas_.clear();
+        if (!pair_list_.empty()) {
+            for (const PairCount& pc : pair_list_) {
+                const CachedTransition& tr = transition(pc.a, pc.b);
+                scratch_deltas_.insert(scratch_deltas_.end(), pc.mult, tr.leader_delta);
+            }
+        } else {
+            for (std::uint64_t i = 0; i < fresh; ++i) {
+                scratch_deltas_.push_back(
+                    transition(scratch_a_[i], scratch_b_[i]).leader_delta);
+            }
+        }
+        shuffle_vector(scratch_deltas_, rng_);
+        std::int64_t running = static_cast<std::int64_t>(leader_count_);
+        for (std::uint64_t i = 0; i < scratch_deltas_.size(); ++i) {
+            running += scratch_deltas_[i];
+            if (running == 1) return i + 1;
+        }
+        ensure(false, "leader-count crossing not found within the batch");
+        return scratch_deltas_.size();
+    }
+
+    /// The interaction that ends the batch: at least one participant is an
+    /// already-touched agent. Ordered-slot cases weighted t(t−1) : t(n−t)
+    /// : (n−t)t; a touched slot samples a uniform touched agent (post-batch
+    /// state multiset), an untouched slot a uniform untouched agent.
+    void collision_step() {
+        const std::uint64_t t = touched_total_;
+        const std::uint64_t m = untouched_;
+        const std::uint64_t w_both = t * (t - 1);
+        const std::uint64_t w_mixed = t * m;
+        const std::uint64_t r = uniform_below(rng_, w_both + 2 * w_mixed);
+        const bool a_touched = r < w_both + w_mixed;
+        const bool b_touched = r < w_both || r >= w_both + w_mixed;
+
+        const StateId qa = a_touched ? take_touched() : take_untouched();
+        const StateId qb = b_touched ? take_touched() : take_untouched();
+        const CachedTransition& tr = transition(qa, qb);
+        touch(tr.out_a, 1);
+        touch(tr.out_b, 1);
+        role_change_seen_ = role_change_seen_ || tr.role_changed;
+        leader_count_ = static_cast<std::size_t>(
+            static_cast<std::int64_t>(leader_count_) + tr.leader_delta);
+        ++steps_;
+        if (!first_single_leader_step_ && leader_count_ == 1) {
+            first_single_leader_step_ = steps_;
+        }
+    }
+
+    // --- touched-multiset bookkeeping --------------------------------------
+
+    void touch(StateId id, std::uint64_t mult) {
+        if (touched_[id] == 0) touched_ids_.push_back(id);
+        touched_[id] += mult;
+        touched_total_ += mult;
+    }
+
+    /// Removes and returns a uniformly random touched agent's state.
+    [[nodiscard]] StateId take_touched() {
+        std::uint64_t r = uniform_below(rng_, touched_total_);
+        for (const StateId id : touched_ids_) {
+            const std::uint64_t c = touched_[id];
+            if (r < c) {
+                touched_[id] -= 1;
+                touched_total_ -= 1;
+                return id;
+            }
+            r -= c;
+        }
+        ensure(false, "touched multiset sampling ran past its total");
+        return 0;
+    }
+
+    /// Removes and returns a uniformly random untouched agent's state.
+    [[nodiscard]] StateId take_untouched() {
+        std::uint64_t r = uniform_below(rng_, untouched_);
+        for (const StateId id : live_ids_) {
+            const std::uint64_t c = counts_[id];
+            if (r < c) {
+                counts_[id] -= 1;
+                untouched_ -= 1;
+                return id;
+            }
+            r -= c;
+        }
+        ensure(false, "untouched count sampling ran past its total");
+        return 0;
+    }
+
+    /// Folds the touched agents back into the global count vector.
+    void merge_touched() {
+        for (const StateId id : touched_ids_) {
+            counts_[id] += touched_[id];
+            touched_[id] = 0;
+            make_live(id);
+        }
+        touched_ids_.clear();
+        touched_total_ = 0;
+    }
+
+    [[nodiscard]] RunResult make_result(bool converged) const noexcept {
+        RunResult r;
+        r.converged = converged;
+        r.steps = steps_;
+        r.parallel_time = to_parallel_time(steps_, n_);
+        r.leader_count = leader_count_;
+        r.stabilization_step = first_single_leader_step_;
+        return r;
+    }
+
+    P protocol_;
+    std::size_t n_;
+    Rng rng_;
+    CollisionRunSampler run_sampler_;
+    StateIndex<P> index_;
+    std::vector<std::uint64_t> counts_;   ///< agents per state id (untouched during a round)
+    std::vector<std::uint64_t> touched_;  ///< post-batch states of this round's touched agents
+    std::vector<StateId> touched_ids_;    ///< ids with touched_[id] > 0
+    std::vector<StateId> live_ids_;       ///< ids that may have counts_[id] > 0
+    std::vector<std::uint8_t> in_live_;   ///< membership flags for live_ids_
+    std::uint64_t touched_total_ = 0;
+    std::uint64_t untouched_ = 0;
+    StateId dense_dim_ = 0;
+    std::vector<CachedTransition> dense_cache_;
+    FlatTransitionMap overflow_cache_;
+    std::vector<std::pair<StateId, std::uint64_t>> initiators_;
+    std::vector<std::pair<StateId, std::uint64_t>> responders_;
+    std::vector<PairCount> pair_list_;
+    std::vector<StateId> scratch_a_;
+    std::vector<StateId> scratch_b_;
+    std::vector<std::int8_t> scratch_deltas_;
+    StepCount steps_ = 0;
+    std::size_t leader_count_ = 0;
+    std::optional<StepCount> first_single_leader_step_;
+    bool role_change_seen_ = false;
+};
+
+/// Convenience mirror of simulate_to_single_leader for the batched engine.
+template <typename P>
+    requires InternableProtocol<P>
+[[nodiscard]] RunResult batched_simulate_to_single_leader(P proto, std::size_t n,
+                                                          std::uint64_t seed,
+                                                          StepCount max_steps) {
+    BatchedEngine<P> engine(std::move(proto), n, seed);
+    return engine.run_until_one_leader(max_steps);
+}
+
+}  // namespace ppsim

@@ -53,6 +53,32 @@ concept HashableStateProtocol = Protocol<P> &&
         { proto.state_key(s) } -> std::same_as<std::uint64_t>;
     };
 
+/// Protocols whose states can be interned into dense ids (the requirement of
+/// the count-based BatchedEngine): either the protocol supplies an injective
+/// `state_key()`, or the state fits in 8 bytes so its raw bits are their own
+/// key. Every protocol in the registry satisfies this.
+template <typename P>
+concept InternableProtocol =
+    Protocol<P> && (HashableStateProtocol<P> || sizeof(typename P::State) <= 8);
+
+/// Canonical 64-bit key of `s` under `proto`, injective on reachable states.
+/// Single definition of the key logic, shared by the type-erased adapter and
+/// the batched engine's state-interning layer.
+template <Protocol P>
+[[nodiscard]] std::uint64_t state_key_of(const P& proto,
+                                         const typename P::State& s) noexcept {
+    if constexpr (HashableStateProtocol<P>) {
+        return proto.state_key(s);
+    } else {
+        // Fallback: states at most 8 bytes are their own key.
+        static_assert(sizeof(typename P::State) <= 8,
+                      "protocol must provide state_key() for states wider than 8 bytes");
+        std::uint64_t key = 0;
+        std::memcpy(&key, &s, sizeof(s));
+        return key;
+    }
+}
+
 /// Runtime (type-erased) view of a protocol over an opaque state buffer.
 /// Used by the registry, the experiment driver and the examples, where the
 /// protocol is chosen by name at runtime. The hot engine path stays templated.
@@ -119,16 +145,7 @@ public:
     [[nodiscard]] std::uint64_t state_key(const std::byte* slot) const noexcept override {
         typename P::State s;
         std::memcpy(&s, slot, sizeof(s));
-        if constexpr (HashableStateProtocol<P>) {
-            return proto_.state_key(s);
-        } else {
-            // Fallback: states at most 8 bytes are their own key.
-            static_assert(sizeof(typename P::State) <= 8,
-                          "protocol must provide state_key() for states wider than 8 bytes");
-            std::uint64_t key = 0;
-            std::memcpy(&key, &s, sizeof(s));
-            return key;
-        }
+        return state_key_of(proto_, s);
     }
 
     [[nodiscard]] std::size_t state_bound() const noexcept override {

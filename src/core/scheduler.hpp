@@ -36,11 +36,26 @@ public:
     UniformScheduler(std::size_t n, std::uint64_t seed)
         : n_(n), rng_(seed) {
         require(n >= 2, "population must contain at least two agents");
+        // n(n−1) fits in 64 bits whenever n ≤ 2^32 (always true: agent ids
+        // are 32-bit), enabling the single-draw fast path in next().
+        if (n_ <= (std::uint64_t{1} << 32U)) {
+            ordered_pairs_ = static_cast<std::uint64_t>(n_) * (n_ - 1);
+        }
     }
 
     /// Draws the next interaction. Both orderings of each unordered pair are
     /// equally likely, as the model requires.
     [[nodiscard]] Interaction next() noexcept {
+        if (ordered_pairs_ != 0) {
+            // Fast path: one unbiased draw in [0, n(n−1)) indexes the ordered
+            // pair directly — quotient picks the initiator, remainder the
+            // responder's offset among the other n−1 agents.
+            const std::uint64_t r = uniform_below(rng_, ordered_pairs_);
+            const auto a = static_cast<AgentId>(r / (n_ - 1));
+            auto b = static_cast<AgentId>(r % (n_ - 1));
+            if (b >= a) ++b;
+            return Interaction{a, b};
+        }
         const auto a = static_cast<AgentId>(uniform_below(rng_, n_));
         // Sample the responder from the remaining n−1 agents without bias by
         // drawing in [0, n−1) and skipping over the initiator's index.
@@ -56,6 +71,7 @@ public:
 
 private:
     std::size_t n_;
+    std::uint64_t ordered_pairs_ = 0;  ///< n(n−1) when it fits in 64 bits, else 0
     Rng rng_;
 };
 

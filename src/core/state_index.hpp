@@ -1,0 +1,78 @@
+/// \file state_index.hpp
+/// \brief State interning: maps protocol states to dense integer ids on
+/// first sight, so count-based simulation works for *any* registered
+/// protocol — including PLL's composite 16-byte state — without the engine
+/// knowing the state layout.
+///
+/// Identity is the protocol's canonical 64-bit key (`state_key_of`), which
+/// every protocol either provides explicitly (injective `state_key()`) or
+/// inherits from its raw bits when the state fits in 8 bytes. Dense ids are
+/// assigned in first-seen order, so for a fixed seed the id assignment — and
+/// therefore the whole batched simulation — is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common.hpp"
+#include "protocol.hpp"
+
+namespace ppsim {
+
+/// Dense id of an interned state. 32 bits bound the table at 2^32 distinct
+/// states, far beyond any protocol in this library (PLL has O(log n)).
+using StateId = std::uint32_t;
+
+/// Interning table for one protocol's states: key → dense id, plus the
+/// per-id state value and cached output role (so the hot path never calls
+/// the protocol's output map twice for the same state).
+template <typename P>
+    requires InternableProtocol<P>
+class StateIndex {
+public:
+    using State = typename P::State;
+
+    /// Returns the dense id of `s`, interning it on first sight.
+    StateId intern(const P& proto, const State& s) {
+        const std::uint64_t key = state_key_of(proto, s);
+        const auto it = by_key_.find(key);
+        if (it != by_key_.end()) return it->second;
+        const auto id = static_cast<StateId>(states_.size());
+        ensure(states_.size() < std::numeric_limits<StateId>::max(),
+               "state index overflow: protocol produced 2^32 distinct states");
+        states_.push_back(s);
+        roles_.push_back(proto.output(s));
+        by_key_.emplace(key, id);
+        return id;
+    }
+
+    /// Number of states interned so far.
+    [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+
+    /// Dense id of the state with canonical key `key`, if interned.
+    [[nodiscard]] std::optional<StateId> find(std::uint64_t key) const {
+        const auto it = by_key_.find(key);
+        if (it == by_key_.end()) return std::nullopt;
+        return it->second;
+    }
+
+    /// The state value behind a dense id.
+    [[nodiscard]] const State& state(StateId id) const noexcept { return states_[id]; }
+
+    /// Cached output role of a dense id.
+    [[nodiscard]] Role role(StateId id) const noexcept { return roles_[id]; }
+
+    /// True when the id's output is leader (hot-path shorthand).
+    [[nodiscard]] bool is_leader(StateId id) const noexcept {
+        return roles_[id] == Role::leader;
+    }
+
+private:
+    std::vector<State> states_;
+    std::vector<Role> roles_;
+    std::unordered_map<std::uint64_t, StateId> by_key_;
+};
+
+}  // namespace ppsim

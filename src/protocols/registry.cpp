@@ -1,6 +1,7 @@
 #include "registry.hpp"
 
 #include "angluin.hpp"
+#include "loose.hpp"
 #include "lottery.hpp"
 #include "mst.hpp"
 #include "pll.hpp"
@@ -15,6 +16,10 @@ ProtocolRegistry build_default_registry() {
     registry.register_protocol(
         ProtocolInfo{"angluin06", "[Ang+06]", "O(1)", "O(n)"},
         [](std::size_t) { return Angluin{}; });
+    registry.register_protocol(
+        ProtocolInfo{"loose_sud12", "[Sud+12] (loosely stabilising)", "O(log n)",
+                     "O(n) worst pair; holds w.h.p."},
+        [](std::size_t n) { return LooselyStabilizing::for_population(n); });
     registry.register_protocol(
         ProtocolInfo{"lottery", "[Ali+17]-style (QE lottery only)", "O(log n)",
                      "O(log n) + P(tie)*O(n)"},
@@ -64,14 +69,22 @@ const ProtocolInfo& ProtocolRegistry::info(const std::string& name) const {
 }
 
 RunResult ProtocolRegistry::run_election(const std::string& name, std::size_t n,
-                                         std::uint64_t seed, StepCount max_steps) const {
-    return entry(name).run(n, seed, max_steps, 0);
+                                         std::uint64_t seed, StepCount max_steps,
+                                         EngineKind engine) const {
+    return entry(name).run(n, seed, max_steps, 0, engine);
 }
 
 RunResult ProtocolRegistry::run_election_verified(const std::string& name, std::size_t n,
                                                   std::uint64_t seed, StepCount max_steps,
-                                                  StepCount verify_steps) const {
-    return entry(name).run(n, seed, max_steps, verify_steps);
+                                                  StepCount verify_steps,
+                                                  EngineKind engine) const {
+    return entry(name).run(n, seed, max_steps, verify_steps, engine);
+}
+
+RunResult ProtocolRegistry::run_for(const std::string& name, std::size_t n,
+                                    std::uint64_t seed, StepCount steps,
+                                    EngineKind engine) const {
+    return entry(name).run_for(n, seed, steps, engine);
 }
 
 std::unique_ptr<AnyProtocol> ProtocolRegistry::make(const std::string& name,

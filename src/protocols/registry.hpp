@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "../core/batched_engine.hpp"
 #include "../core/engine.hpp"
 #include "../core/protocol.hpp"
 
@@ -39,17 +40,27 @@ public:
     /// Metadata for a registered protocol; throws on unknown names.
     [[nodiscard]] const ProtocolInfo& info(const std::string& name) const;
 
-    /// Runs a full election of `name` on n agents with the given seed using
-    /// the fast templated engine. `max_steps` bounds the run.
+    /// Runs a full election of `name` on n agents with the given seed.
+    /// `max_steps` bounds the run; `engine` selects the back-end (the fast
+    /// templated agent engine, or the count-based batched engine).
     [[nodiscard]] RunResult run_election(const std::string& name, std::size_t n,
-                                         std::uint64_t seed, StepCount max_steps) const;
+                                         std::uint64_t seed, StepCount max_steps,
+                                         EngineKind engine = EngineKind::agent) const;
 
     /// As run_election, but additionally verifies output stability over
     /// `verify_steps` extra interactions; sets `converged = false` if any
     /// output changed after the detected stabilisation point.
     [[nodiscard]] RunResult run_election_verified(const std::string& name, std::size_t n,
                                                   std::uint64_t seed, StepCount max_steps,
-                                                  StepCount verify_steps) const;
+                                                  StepCount verify_steps,
+                                                  EngineKind engine = EngineKind::agent) const;
+
+    /// Runs exactly `steps` interactions regardless of convergence — the
+    /// fixed-work entry point for throughput benchmarking (both engines
+    /// clamp their final batch/step to the budget).
+    [[nodiscard]] RunResult run_for(const std::string& name, std::size_t n,
+                                    std::uint64_t seed, StepCount steps,
+                                    EngineKind engine = EngineKind::agent) const;
 
     /// Type-erased instance for population size n (state-space counting).
     [[nodiscard]] std::unique_ptr<AnyProtocol> make(const std::string& name,
@@ -64,16 +75,15 @@ public:
         Entry entry;
         entry.info = std::move(info);
         entry.run = [factory](std::size_t n, std::uint64_t seed, StepCount max_steps,
-                              StepCount verify_steps) {
-            Engine<P> engine(factory(n), n, seed);
-            RunResult result = engine.run_until_one_leader(max_steps);
-            if (verify_steps > 0 && result.converged) {
-                if (!engine.verify_outputs_stable(verify_steps)) result.converged = false;
-                result.steps = engine.steps();
-                result.parallel_time = to_parallel_time(engine.steps(), n);
-                result.leader_count = engine.leader_count();
-            }
-            return result;
+                              StepCount verify_steps, EngineKind kind) {
+            return dispatch_engine(factory, n, seed, kind, [&](auto& engine) {
+                return finish_run(engine, n, max_steps, verify_steps);
+            });
+        };
+        entry.run_for = [factory](std::size_t n, std::uint64_t seed, StepCount steps,
+                                  EngineKind kind) {
+            return dispatch_engine(factory, n, seed, kind,
+                                   [&](auto& engine) { return engine.run_for(steps); });
         };
         entry.make = [factory](std::size_t n) { return erase_protocol(factory(n)); };
         entries_.push_back(std::move(entry));
@@ -84,9 +94,45 @@ public:
 private:
     struct Entry {
         ProtocolInfo info;
-        std::function<RunResult(std::size_t, std::uint64_t, StepCount, StepCount)> run;
+        std::function<RunResult(std::size_t, std::uint64_t, StepCount, StepCount, EngineKind)>
+            run;
+        std::function<RunResult(std::size_t, std::uint64_t, StepCount, EngineKind)> run_for;
         std::function<std::unique_ptr<AnyProtocol>(std::size_t)> make;
     };
+
+    /// Constructs the selected engine for one run and applies `fn` to it —
+    /// the single place the agent/batched choice is made for registry runs.
+    template <typename Factory, typename Fn>
+    static RunResult dispatch_engine(const Factory& factory, std::size_t n,
+                                     std::uint64_t seed, EngineKind kind, Fn&& fn) {
+        using P = decltype(factory(std::size_t{2}));
+        if (kind == EngineKind::batched) {
+            if constexpr (InternableProtocol<P>) {
+                BatchedEngine<P> engine(factory(n), n, seed);
+                return fn(engine);
+            } else {
+                throw InvalidArgument(
+                    "protocol has no injective state key: batched engine unavailable");
+            }
+        }
+        Engine<P> engine(factory(n), n, seed);
+        return fn(engine);
+    }
+
+    /// Shared run-until-one-leader + optional stability verification for
+    /// either engine (they expose the same execution surface).
+    template <typename AnyEngine>
+    static RunResult finish_run(AnyEngine& engine, std::size_t n, StepCount max_steps,
+                                StepCount verify_steps) {
+        RunResult result = engine.run_until_one_leader(max_steps);
+        if (verify_steps > 0 && result.converged) {
+            if (!engine.verify_outputs_stable(verify_steps)) result.converged = false;
+            result.steps = engine.steps();
+            result.parallel_time = to_parallel_time(engine.steps(), n);
+            result.leader_count = engine.leader_count();
+        }
+        return result;
+    }
 
     [[nodiscard]] const Entry& entry(const std::string& name) const;
 

@@ -98,6 +98,40 @@ TEST(RecordedSchedule, ValidateRejectsBadSchedules) {
     EXPECT_NO_THROW(good.validate(4));
 }
 
+TEST(RecordedSchedule, ValidateCoversEveryErrorPath) {
+    // Out-of-range initiator (not just responder).
+    RecordedSchedule bad_initiator;
+    bad_initiator.append(7, 1);
+    EXPECT_THROW(bad_initiator.validate(4), InvalidArgument);
+
+    // The reported step index names the offending entry, not just the fact.
+    RecordedSchedule late_error;
+    late_error.append(0, 1);
+    late_error.append(1, 2);
+    late_error.append(3, 3);  // self-interaction at step 2
+    try {
+        late_error.validate(4);
+        FAIL() << "validate accepted a self-interaction";
+    } catch (const InvalidArgument& e) {
+        EXPECT_NE(std::string(e.what()).find("step 2"), std::string::npos)
+            << "message was: " << e.what();
+    }
+
+    // An id equal to n is out of range (ids are 0-based).
+    RecordedSchedule boundary;
+    boundary.append(0, 4);
+    EXPECT_THROW(boundary.validate(4), InvalidArgument);
+
+    // The empty schedule is trivially valid, for any population.
+    EXPECT_NO_THROW(RecordedSchedule{}.validate(2));
+
+    // A schedule valid for a large population can be invalid for a smaller one.
+    RecordedSchedule shrunk;
+    shrunk.append(0, 5);
+    EXPECT_NO_THROW(shrunk.validate(8));
+    EXPECT_THROW(shrunk.validate(4), InvalidArgument);
+}
+
 TEST(ReplayScheduler, ReplaysInOrderAndThrowsWhenExhausted) {
     RecordedSchedule schedule;
     schedule.append(0, 1);
@@ -106,6 +140,27 @@ TEST(ReplayScheduler, ReplaysInOrderAndThrowsWhenExhausted) {
     EXPECT_EQ(replay.remaining(), 2U);
     EXPECT_EQ(replay.next(), (Interaction{0, 1}));
     EXPECT_EQ(replay.next(), (Interaction{1, 2}));
+    EXPECT_EQ(replay.remaining(), 0U);
+    EXPECT_THROW((void)replay.next(), InvariantViolation);
+}
+
+TEST(ReplayScheduler, ExhaustionIsSticky) {
+    RecordedSchedule schedule;
+    schedule.append(0, 1);
+    ReplayScheduler replay(schedule);
+    EXPECT_EQ(replay.position(), 0U);
+    (void)replay.next();
+    EXPECT_EQ(replay.position(), 1U);
+    EXPECT_EQ(replay.remaining(), 0U);
+    // Every further call keeps throwing; the cursor does not run away.
+    EXPECT_THROW((void)replay.next(), InvariantViolation);
+    EXPECT_THROW((void)replay.next(), InvariantViolation);
+    EXPECT_EQ(replay.position(), 1U);
+}
+
+TEST(ReplayScheduler, EmptyScheduleThrowsImmediately) {
+    RecordedSchedule empty;
+    ReplayScheduler replay(empty);
     EXPECT_EQ(replay.remaining(), 0U);
     EXPECT_THROW((void)replay.next(), InvariantViolation);
 }

@@ -1,0 +1,152 @@
+// bench_to_json — measures interactions/sec of both simulation back-ends
+// (agent-based Engine vs count-based BatchedEngine) across protocols and
+// population sizes, prints a table, and writes the machine-readable perf
+// trajectory to BENCH_engine.json so future PRs can regress against it.
+//
+//   bench_to_json                         # default grid, writes BENCH_engine.json
+//   bench_to_json --protocols pll --sizes 1048576 --json out.json
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/args.hpp"
+#include "core/engine.hpp"
+#include "core/json.hpp"
+#include "core/table.hpp"
+#include "protocols/registry.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+    std::vector<std::string> out;
+    std::istringstream stream(csv);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+/// One measurement: repeatedly runs fresh elections capped at `steps_per_run`
+/// interactions until `min_seconds` of wall time accumulate, and reports the
+/// aggregate interaction throughput.
+struct Measurement {
+    StepCount steps = 0;
+    double seconds = 0.0;
+
+    [[nodiscard]] double rate() const noexcept {
+        return seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+    }
+};
+
+Measurement measure(const std::string& protocol, EngineKind engine, std::size_t n,
+                    StepCount steps_per_run, double min_seconds) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    Measurement m;
+    std::uint64_t seed = 0xBEEF;
+    while (m.seconds < min_seconds) {
+        const auto start = std::chrono::steady_clock::now();
+        // run_for, not run_election: fixed work regardless of convergence,
+        // so fast-converging protocols don't degenerate into measuring
+        // engine construction.
+        const RunResult run = registry.run_for(protocol, n, seed++, steps_per_run, engine);
+        const auto stop = std::chrono::steady_clock::now();
+        m.steps += run.steps;
+        m.seconds += std::chrono::duration<double>(stop - start).count();
+    }
+    return m;
+}
+
+int run(const ArgParser& args) {
+    const std::vector<std::string> protocols =
+        split_csv(args.get_string("protocols", "angluin06,loose_sud12,lottery,pll"));
+    std::vector<std::size_t> sizes;
+    for (const std::string& s :
+         split_csv(args.get_string("sizes", "1024,16384,1048576,16777216"))) {
+        sizes.push_back(static_cast<std::size_t>(std::stoull(s)));
+    }
+    const double min_seconds = args.get_double("min-seconds", 0.3);
+    const double parallel_time_cap = args.get_double("parallel-time", 16.0);
+
+    TextTable table;
+    table.add_column("protocol", Align::left);
+    table.add_column("n");
+    table.add_column("agent int/s");
+    table.add_column("batched int/s");
+    table.add_column("speedup");
+
+    JsonValue root = JsonValue::object();
+    root.set("library_version", library_version);
+    root.set("tool", "bench_to_json");
+    JsonValue rows = JsonValue::array();
+
+    for (const std::string& protocol : protocols) {
+        for (const std::size_t n : sizes) {
+            const auto steps_per_run = static_cast<StepCount>(
+                parallel_time_cap * static_cast<double>(n));
+            const Measurement agent =
+                measure(protocol, EngineKind::agent, n, steps_per_run, min_seconds);
+            const Measurement batched =
+                measure(protocol, EngineKind::batched, n, steps_per_run, min_seconds);
+            const double speedup =
+                agent.rate() > 0.0 ? batched.rate() / agent.rate() : 0.0;
+
+            std::ostringstream agent_rate, batched_rate, ratio;
+            agent_rate.precision(3);
+            agent_rate << std::scientific << agent.rate();
+            batched_rate.precision(3);
+            batched_rate << std::scientific << batched.rate();
+            ratio.precision(1);
+            ratio << std::fixed << speedup << "x";
+            table.add_row({protocol, std::to_string(n), agent_rate.str(),
+                           batched_rate.str(), ratio.str()});
+
+            JsonValue row = JsonValue::object();
+            row.set("protocol", protocol);
+            row.set("n", static_cast<std::uint64_t>(n));
+            row.set("steps_per_run", steps_per_run);
+            row.set("agent_interactions_per_sec", agent.rate());
+            row.set("batched_interactions_per_sec", batched.rate());
+            row.set("speedup", speedup);
+            rows.push_back(std::move(row));
+        }
+    }
+    root.set("measurements", std::move(rows));
+
+    std::cout << table.render("engine throughput (interactions/sec)");
+    if (const std::string path = args.get_string("json", "BENCH_engine.json");
+        !path.empty()) {
+        write_json_file(path, root);
+        std::cout << "wrote " << path << "\n";
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ArgParser args;
+    args.declare("protocols", "comma-separated registry names",
+                 "angluin06,loose_sud12,lottery,pll");
+    args.declare("sizes", "comma-separated population sizes",
+                 "1024,16384,1048576,16777216");
+    args.declare("min-seconds", "minimum wall time per measurement", "0.3");
+    args.declare("parallel-time", "interactions per run, as a multiple of n", "16");
+    args.declare("json", "output JSON path (empty = skip)", "BENCH_engine.json");
+    args.declare("help", "show this help");
+    try {
+        args.parse(argc, argv);
+        if (args.get_bool("help", false)) {
+            std::cout << args.usage("bench_to_json");
+            return 0;
+        }
+        return run(args);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}

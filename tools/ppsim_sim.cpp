@@ -23,6 +23,7 @@ using namespace ppsim;
 ArgParser make_parser() {
     ArgParser args;
     args.declare("protocol", "registry name of the protocol to run", "pll");
+    args.declare("engine", "simulation back-end: agent | batched", "agent");
     args.declare("n", "population size", "1024");
     args.declare("seed", "root PRNG seed", "2019");
     args.declare("reps", "seeded repetitions", "20");
@@ -80,6 +81,7 @@ int run(const ArgParser& args) {
 
     SweepConfig config;
     config.protocol = protocol;
+    config.engine = parse_engine_kind(args.get_string("engine", "agent"));
     config.sizes = {n};
     config.repetitions = static_cast<std::size_t>(args.get_u64("reps", 20));
     config.seed = seed;
