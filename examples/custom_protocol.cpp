@@ -9,10 +9,12 @@
 // a protocol can implement (state_bound, state_key, introspection).
 //
 //   ./build/examples/custom_protocol [n]
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
 #include "core/engine.hpp"
+#include "core/observer.hpp"
 #include "protocols/registry.hpp"
 
 namespace example {
@@ -96,6 +98,31 @@ int main(int argc, char** argv) {
         "fratricide", n, 7, static_cast<StepCount>(200) * n * n, 10 * n);
     std::cout << "verified run via registry: converged = " << verified.converged
               << ", leaders = " << verified.leader_count << "\n";
+
+    // The same registration also yields a type-erased Simulation on either
+    // engine — here the count-based one, with a trajectory observer watching
+    // the leader census fall (O(#states) = O(3) per sample, whatever n is).
+    const auto sim = registry.make_simulation("fratricide", n, 123, EngineKind::batched);
+    // Fratricide stabilises in O(n) parallel time, so sample every n/8 units
+    // to keep the series readable.
+    TrajectoryRecorder recorder(std::max<StepCount>(1, n * (n / 8)));
+    sim->add_observer(recorder);
+    (void)sim->run_until_one_leader(static_cast<StepCount>(200) * n * n);
+    std::cout << "trajectory through the batched engine (" << recorder.points().size()
+              << " samples):\n";
+    for (std::size_t i = 0; i < recorder.points().size(); ++i) {
+        if (i == 12 && recorder.points().size() > 13) {
+            std::cout << "  ...\n";
+            break;
+        }
+        const TrajectoryPoint& p = recorder.points()[i];
+        std::cout << "  t = " << p.parallel_time << ": " << p.leader_count
+                  << " leaders, " << p.live_states << " live states\n";
+    }
+    const ConfigurationSnapshot final_census = sim->state_counts();
+    std::cout << "final census: " << final_census.leaders() << " leader among "
+              << final_census.total() << " agents in " << final_census.counts.size()
+              << " distinct states\n";
 
     // And the analysis hooks work too: count its reachable states.
     const auto any = registry.make("fratricide", n);

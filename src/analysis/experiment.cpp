@@ -1,7 +1,9 @@
 #include "experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <optional>
 
 #include "../core/log.hpp"
 #include "../core/random.hpp"
@@ -65,12 +67,21 @@ SweepResult run_sweep(const SweepConfig& config) {
             config.repetitions, config.threads, [&](std::size_t rep) {
                 const std::uint64_t seed =
                     derive_seed(config.seed, (static_cast<std::uint64_t>(n) << 20U) + rep);
+                const auto sim =
+                    registry.make_simulation(config.protocol, n, seed, config.engine);
+                std::optional<TrajectoryRecorder> recorder;
+                if (config.trajectory_stride > 0) {
+                    recorder.emplace(config.trajectory_stride,
+                                     config.trajectory_live_states);
+                    sim->add_observer(*recorder);
+                }
+                std::unique_ptr<SimulationObserver> custom;
+                if (config.make_observer) {
+                    custom = config.make_observer(n, rep);
+                    if (custom) sim->add_observer(*custom);
+                }
                 const RunResult run =
-                    config.verify_steps > 0
-                        ? registry.run_election_verified(config.protocol, n, seed, max_steps,
-                                                         config.verify_steps, config.engine)
-                        : registry.run_election(config.protocol, n, seed, max_steps,
-                                                config.engine);
+                    run_to_single_leader(*sim, max_steps, config.verify_steps);
                 const std::lock_guard lock(merge_mutex);
                 if (run.converged && run.stabilization_step) {
                     const double t = run.stabilization_parallel_time(n);
@@ -79,7 +90,13 @@ SweepResult run_sweep(const SweepConfig& config) {
                 } else {
                     ++point.failures;
                 }
+                if (recorder) {
+                    point.trajectories.push_back(RepTrajectory{rep, recorder->take_points()});
+                }
             });
+        // Repetitions merge in completion order; sort for reproducible output.
+        std::sort(point.trajectories.begin(), point.trajectories.end(),
+                  [](const RepTrajectory& a, const RepTrajectory& b) { return a.rep < b.rep; });
 
         log_debug("sweep " + config.protocol + " n=" + std::to_string(n) + " mean=" +
                   std::to_string(point.parallel_time.mean()) + " failures=" +
@@ -97,9 +114,25 @@ std::vector<RunResult> run_repeated(const std::string& protocol, std::size_t n,
     std::vector<RunResult> results(repetitions);
     ThreadPool::parallel_for(repetitions, threads, [&](std::size_t rep) {
         const std::uint64_t child = derive_seed(seed, rep);
-        results[rep] = registry.run_election(protocol, n, child, max_steps);
+        const auto sim = registry.make_simulation(protocol, n, child);
+        results[rep] = run_to_single_leader(*sim, max_steps);
     });
     return results;
+}
+
+TrajectoryRun record_trajectory(const std::string& protocol, std::size_t n,
+                                std::uint64_t seed, StepCount max_steps,
+                                StepCount stride, EngineKind engine,
+                                bool record_live_states) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    require(registry.contains(protocol), "unknown protocol: " + protocol);
+    const auto sim = registry.make_simulation(protocol, n, seed, engine);
+    TrajectoryRecorder recorder(stride, record_live_states);
+    sim->add_observer(recorder);
+    TrajectoryRun out;
+    out.result = sim->run_until_one_leader(max_steps);
+    out.points = recorder.take_points();
+    return out;
 }
 
 }  // namespace ppsim

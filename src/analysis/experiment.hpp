@@ -5,11 +5,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "../core/common.hpp"
 #include "../core/engine.hpp"
+#include "../core/observer.hpp"
 #include "../core/stats.hpp"
 
 namespace ppsim {
@@ -40,6 +42,31 @@ struct SweepConfig {
     /// Extra steps of output-stability verification after convergence
     /// (0 = skip verification).
     StepCount verify_steps = 0;
+    /// When > 0, record a leader-count trajectory for every repetition,
+    /// sampled every `trajectory_stride` interactions (kept per SweepPoint,
+    /// sorted by repetition index for reproducibility).
+    StepCount trajectory_stride = 0;
+    /// Also record the distinct-state census per trajectory sample. Free on
+    /// the batched engine (O(#states)); an O(n) pass per sample on the
+    /// agent engine — switch off for large-n agent sweeps.
+    bool trajectory_live_states = true;
+    /// Optional per-repetition observer factory: called as (n, rep) before
+    /// each run; the returned observer is attached to that run's Simulation
+    /// and destroyed right after it completes. Use for custom
+    /// instrumentation (milestones, snapshots) beyond the built-in
+    /// trajectory capture. Concurrency contract: repetitions run on a
+    /// thread pool, so the factory and each observer's observe()/finish()
+    /// execute on worker threads with no lock held — harvest results in the
+    /// factory-created observer's destructor or behind your own mutex, and
+    /// keep any state captured by the factory synchronised.
+    std::function<std::unique_ptr<SimulationObserver>(std::size_t, std::size_t)>
+        make_observer;
+};
+
+/// One repetition's recorded trajectory within a sweep point.
+struct RepTrajectory {
+    std::size_t rep = 0;                   ///< repetition index within the point
+    std::vector<TrajectoryPoint> points;   ///< leader-count time series
 };
 
 /// Aggregated results for one population size.
@@ -49,6 +76,8 @@ struct SweepPoint {
     std::size_t failures = 0;       ///< runs that missed the budget or failed verification
     RunningStats parallel_time;     ///< stabilisation time (parallel) over converged runs
     SampleSet samples;              ///< raw stabilisation times for percentiles
+    /// Per-repetition trajectories (empty unless trajectory_stride > 0).
+    std::vector<RepTrajectory> trajectories;
 };
 
 /// Results of a full sweep.
@@ -72,5 +101,20 @@ struct SweepResult {
                                                   std::size_t repetitions, std::uint64_t seed,
                                                   StepCount max_steps,
                                                   std::size_t threads = 0);
+
+/// One seeded election with trajectory capture: runs `protocol` on `n`
+/// agents until one leader (or `max_steps`), recording the leader-count
+/// series every `stride` interactions. The code path behind
+/// `ppsim_sim --trajectory`, shared with the tests for both engines.
+/// `record_live_states` as in SweepConfig::trajectory_live_states.
+struct TrajectoryRun {
+    RunResult result;
+    std::vector<TrajectoryPoint> points;
+};
+[[nodiscard]] TrajectoryRun record_trajectory(const std::string& protocol, std::size_t n,
+                                              std::uint64_t seed, StepCount max_steps,
+                                              StepCount stride,
+                                              EngineKind engine = EngineKind::agent,
+                                              bool record_live_states = true);
 
 }  // namespace ppsim

@@ -123,6 +123,19 @@ public:
         return total;
     }
 
+    /// Visits every state with a non-zero count as (state, count, role) —
+    /// O(#states) regardless of n, the batched engine's snapshot primitive.
+    /// Only valid between public calls (the in-flight touched multiset of a
+    /// batch round has been merged back by then).
+    template <typename Visitor>
+    void visit_counts(Visitor&& visit) const {
+        for (StateId id = 0; id < counts_.size(); ++id) {
+            if (counts_[id] != 0) {
+                visit(index_.state(id), counts_[id], index_.role(id));
+            }
+        }
+    }
+
     /// Recomputes the leader count from the count vector (tests / checks).
     std::size_t recount_leaders() {
         std::uint64_t leaders = 0;
@@ -395,7 +408,7 @@ private:
         if (initiators_.size() * responders_.size() <= fresh) {
             pair_via_counts(fresh);
         } else {
-            pair_via_shuffle(fresh);
+            pair_via_shuffle();
         }
     }
 
@@ -427,7 +440,7 @@ private:
 
     /// Uniform bijection via Fisher–Yates: expand the responder multiset and
     /// shuffle it against the (fixed-order) initiator expansion.
-    void pair_via_shuffle(std::uint64_t fresh) {
+    void pair_via_shuffle() {
         for (const auto& [state_a, count_a] : initiators_) {
             scratch_a_.insert(scratch_a_.end(), count_a, state_a);
         }

@@ -16,9 +16,11 @@
 /// suffixes through `verify_outputs_stable` to validate the certificates.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <limits>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "common.hpp"
@@ -39,17 +41,48 @@ enum class EngineKind : std::uint8_t {
     batched = 1,
 };
 
+/// One row of the engine table: the kind, its registry/CLI name, and a
+/// one-line summary for help text.
+struct EngineDescriptor {
+    EngineKind kind;
+    std::string_view name;
+    std::string_view summary;
+};
+
+/// The single source of truth for the engine list. `to_string`,
+/// `parse_engine_kind` and every CLI help string derive from this table, so
+/// adding a third engine is a one-row change that cannot desync them.
+inline constexpr std::array<EngineDescriptor, 2> engine_table{{
+    {EngineKind::agent, "agent", "exact per-interaction simulation of every agent"},
+    {EngineKind::batched, "batched",
+     "count-based batch simulation, sub-constant time per interaction at large n"},
+}};
+
 /// Registry/CLI name of an engine kind.
 [[nodiscard]] constexpr std::string_view to_string(EngineKind kind) noexcept {
-    return kind == EngineKind::batched ? "batched" : "agent";
+    for (const EngineDescriptor& d : engine_table) {
+        if (d.kind == kind) return d.name;
+    }
+    return "unknown";
 }
 
-/// Parses an engine name ("agent" | "batched"); throws on anything else.
+/// The engine names joined as "agent | batched", for usage strings.
+[[nodiscard]] inline std::string engine_kind_list(std::string_view separator = " | ") {
+    std::string out;
+    for (const EngineDescriptor& d : engine_table) {
+        if (!out.empty()) out += separator;
+        out += d.name;
+    }
+    return out;
+}
+
+/// Parses an engine name from the engine table; throws on anything else.
 [[nodiscard]] inline EngineKind parse_engine_kind(std::string_view name) {
-    if (name == "agent") return EngineKind::agent;
-    if (name == "batched") return EngineKind::batched;
-    throw InvalidArgument("unknown engine: '" + std::string(name) +
-                          "' (expected 'agent' or 'batched')");
+    for (const EngineDescriptor& d : engine_table) {
+        if (d.name == name) return d.kind;
+    }
+    throw InvalidArgument("unknown engine: '" + std::string(name) + "' (expected " +
+                          engine_kind_list(" or ") + ")");
 }
 
 /// Outcome of a bounded engine run.

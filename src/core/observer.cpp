@@ -1,0 +1,149 @@
+#include "observer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+namespace ppsim {
+
+namespace {
+
+/// Advances a deadline to the first stride multiple past `now`, saturating
+/// at no_deadline near the StepCount ceiling (shared by every cadence
+/// observer). Closed form, not a loop: an observer attached after a long
+/// unobserved run may be an arbitrary number of strides behind.
+[[nodiscard]] StepCount advance_deadline(StepCount next, StepCount now,
+                                         StepCount stride) noexcept {
+    if (next > now) return next;
+    const StepCount behind = now - next;
+    const StepCount catch_up = behind - behind % stride + stride;
+    if (next > std::numeric_limits<StepCount>::max() - catch_up) {
+        return SimulationObserver::no_deadline;
+    }
+    return next + catch_up;
+}
+
+}  // namespace
+
+// --- TrajectoryRecorder -----------------------------------------------------
+
+TrajectoryRecorder::TrajectoryRecorder(StepCount stride, bool record_live_states)
+    : stride_(stride), record_live_states_(record_live_states) {
+    require(stride >= 1, "trajectory stride must be at least one interaction");
+}
+
+TrajectoryRecorder TrajectoryRecorder::every_parallel_time(double units, std::size_t n,
+                                                           bool record_live_states) {
+    require(units > 0.0, "trajectory cadence must be positive");
+    const double steps = units * static_cast<double>(n);
+    return TrajectoryRecorder(steps < 1.0 ? 1 : static_cast<StepCount>(steps),
+                              record_live_states);
+}
+
+void TrajectoryRecorder::record(const Simulation& sim) {
+    const StepCount now = sim.steps();
+    if (!points_.empty() && points_.back().step == now) return;
+    points_.push_back(TrajectoryPoint{
+        now, sim.parallel_time(), sim.leader_count(),
+        record_live_states_ ? sim.live_state_count() : 0});
+    next_ = advance_deadline(next_, now, stride_);
+}
+
+void TrajectoryRecorder::observe(const Simulation& sim) {
+    if (points_.empty() || sim.steps() >= next_) record(sim);
+}
+
+void TrajectoryRecorder::finish(const Simulation& sim) {
+    record(sim);  // always capture the final configuration, even off-stride
+}
+
+std::vector<TrajectoryPoint> TrajectoryRecorder::take_points() {
+    std::vector<TrajectoryPoint> out = std::move(points_);
+    points_.clear();
+    next_ = 0;
+    return out;
+}
+
+void TrajectoryRecorder::write_csv(std::ostream& out) const {
+    write_trajectory_csv(out, points_);
+}
+
+void write_trajectory_csv(std::ostream& out,
+                          const std::vector<TrajectoryPoint>& points) {
+    out << "step,parallel_time,leader_count,live_states\n";
+    for (const TrajectoryPoint& p : points) {
+        out << p.step << ',' << p.parallel_time << ',' << p.leader_count << ','
+            << p.live_states << '\n';
+    }
+}
+
+void write_trajectory_csv(const std::string& path,
+                          const std::vector<TrajectoryPoint>& points) {
+    std::ofstream out(path);
+    require(out.good(), "cannot open trajectory file for writing: " + path);
+    write_trajectory_csv(out, points);
+    out.flush();
+    require(out.good(), "failed writing trajectory file: " + path);
+}
+
+// --- SnapshotRecorder -------------------------------------------------------
+
+SnapshotRecorder::SnapshotRecorder(StepCount stride) : stride_(stride) {
+    require(stride >= 1, "snapshot stride must be at least one interaction");
+}
+
+void SnapshotRecorder::record(const Simulation& sim) {
+    if (!snapshots_.empty() && snapshots_.back().step == sim.steps()) return;
+    snapshots_.push_back(sim.state_counts());
+    next_ = advance_deadline(next_, sim.steps(), stride_);
+}
+
+void SnapshotRecorder::observe(const Simulation& sim) {
+    if (snapshots_.empty() || sim.steps() >= next_) record(sim);
+}
+
+void SnapshotRecorder::finish(const Simulation& sim) { record(sim); }
+
+// --- ConvergenceObserver ----------------------------------------------------
+
+ConvergenceObserver::ConvergenceObserver(std::vector<std::size_t> thresholds,
+                                         StepCount stride)
+    : thresholds_(std::move(thresholds)), stride_(stride) {
+    require(stride >= 1, "convergence stride must be at least one interaction");
+    std::sort(thresholds_.begin(), thresholds_.end(), std::greater<>());
+    thresholds_.erase(std::unique(thresholds_.begin(), thresholds_.end()),
+                      thresholds_.end());
+    reached_.assign(thresholds_.size(), std::nullopt);
+}
+
+std::vector<std::size_t> ConvergenceObserver::halving_thresholds(std::size_t n) {
+    std::vector<std::size_t> out;
+    for (std::size_t t = n / 2; t > 1; t /= 2) out.push_back(t);
+    out.push_back(1);
+    return out;
+}
+
+void ConvergenceObserver::observe(const Simulation& sim) {
+    const std::size_t leaders = sim.leader_count();
+    for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+        if (!reached_[i] && leaders <= thresholds_[i]) reached_[i] = sim.steps();
+    }
+    if (sim.steps() >= next_) {
+        // All milestones hit: stop asking for deadlines so runs with other
+        // observers (or none due) aren't chunked on our account.
+        const bool done = std::all_of(reached_.begin(), reached_.end(),
+                                      [](const auto& r) { return r.has_value(); });
+        next_ = done ? SimulationObserver::no_deadline
+                     : advance_deadline(next_, sim.steps(), stride_);
+    }
+}
+
+std::optional<StepCount> ConvergenceObserver::first_step_at_or_below(
+    std::size_t threshold) const {
+    for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+        if (thresholds_[i] == threshold) return reached_[i];
+    }
+    return std::nullopt;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,131 @@
+/// \file observer.hpp
+/// \brief Concrete simulation observers: leader-count/state-count trajectory
+/// recording, periodic full-configuration snapshots, and convergence
+/// milestone tracking. All of them observe at a step cadence the caller
+/// picks, through the chunked run loop in simulation.hpp — never inside the
+/// engines' per-interaction hot paths.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "simulation.hpp"
+
+namespace ppsim {
+
+/// One sample of a recorded trajectory.
+struct TrajectoryPoint {
+    StepCount step = 0;            ///< interactions executed at the sample
+    double parallel_time = 0.0;    ///< step / n
+    std::size_t leader_count = 0;  ///< leaders at the sample
+    std::size_t live_states = 0;   ///< distinct occupied states (0 if not recorded)
+};
+
+/// Records a (step, leader count, live-state count) time series every
+/// `stride` interactions, plus the initial and final configurations of each
+/// run. On the batched engine a sample costs O(#states); recording the
+/// live-state census on the agent engine costs O(n) per sample, so it can
+/// be disabled for large-n agent runs.
+class TrajectoryRecorder final : public SimulationObserver {
+public:
+    /// `stride` = distance between samples in interactions (≥ 1);
+    /// `record_live_states` additionally tracks the distinct-state census.
+    explicit TrajectoryRecorder(StepCount stride, bool record_live_states = true);
+
+    /// Recorder sampling every `units` of parallel time for population `n`.
+    [[nodiscard]] static TrajectoryRecorder every_parallel_time(
+        double units, std::size_t n, bool record_live_states = true);
+
+    [[nodiscard]] StepCount next_due() const noexcept override { return next_; }
+    void observe(const Simulation& sim) override;
+    void finish(const Simulation& sim) override;
+
+    [[nodiscard]] const std::vector<TrajectoryPoint>& points() const noexcept {
+        return points_;
+    }
+    [[nodiscard]] StepCount stride() const noexcept { return stride_; }
+
+    /// Hands the recorded series out (recorder resets to empty).
+    [[nodiscard]] std::vector<TrajectoryPoint> take_points();
+
+    /// Writes the series as CSV: step,parallel_time,leader_count,live_states.
+    /// (Delegates to the free write_trajectory_csv — one schema definition.)
+    void write_csv(std::ostream& out) const;
+
+private:
+    void record(const Simulation& sim);
+
+    StepCount stride_;
+    StepCount next_ = 0;
+    bool record_live_states_;
+    std::vector<TrajectoryPoint> points_;
+};
+
+/// Writes a trajectory as CSV (step,parallel_time,leader_count,live_states)
+/// — the single definition of the trajectory schema. The path overload
+/// throws on I/O failure.
+void write_trajectory_csv(std::ostream& out,
+                          const std::vector<TrajectoryPoint>& points);
+void write_trajectory_csv(const std::string& path,
+                          const std::vector<TrajectoryPoint>& points);
+
+/// Records a full configuration snapshot (state-count census) every
+/// `stride` interactions. Each snapshot is O(#states) on the batched engine
+/// and O(n) on the agent engine — prefer the batched engine at large n.
+class SnapshotRecorder final : public SimulationObserver {
+public:
+    explicit SnapshotRecorder(StepCount stride);
+
+    [[nodiscard]] StepCount next_due() const noexcept override { return next_; }
+    void observe(const Simulation& sim) override;
+    void finish(const Simulation& sim) override;
+
+    [[nodiscard]] const std::vector<ConfigurationSnapshot>& snapshots() const noexcept {
+        return snapshots_;
+    }
+
+private:
+    void record(const Simulation& sim);
+
+    StepCount stride_;
+    StepCount next_ = 0;
+    std::vector<ConfigurationSnapshot> snapshots_;
+};
+
+/// Watches the leader census fall and records the first observed step at
+/// which it reached each of a set of descending thresholds (n/2, √n, …, 1).
+/// Milestones are detected at `stride` granularity: the recorded step is
+/// the first *observation* at or below the threshold, which overshoots the
+/// true crossing by at most one stride.
+class ConvergenceObserver final : public SimulationObserver {
+public:
+    ConvergenceObserver(std::vector<std::size_t> thresholds, StepCount stride);
+
+    /// The default milestone ladder for population n:
+    /// n/2, n/4, …, down to 2, then 1.
+    [[nodiscard]] static std::vector<std::size_t> halving_thresholds(std::size_t n);
+
+    [[nodiscard]] StepCount next_due() const noexcept override { return next_; }
+    void observe(const Simulation& sim) override;
+
+    /// First observed step with leader count ≤ `threshold`; unset when the
+    /// run never got there (or the threshold was not configured).
+    [[nodiscard]] std::optional<StepCount> first_step_at_or_below(
+        std::size_t threshold) const;
+
+    [[nodiscard]] const std::vector<std::size_t>& thresholds() const noexcept {
+        return thresholds_;
+    }
+
+private:
+    std::vector<std::size_t> thresholds_;            ///< sorted descending
+    std::vector<std::optional<StepCount>> reached_;  ///< parallel to thresholds_
+    StepCount stride_;
+    StepCount next_ = 0;
+};
+
+}  // namespace ppsim

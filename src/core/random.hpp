@@ -191,18 +191,24 @@ namespace detail {
     return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
 }
 
-}  // namespace detail
+/// Standard deviation of the hypergeometric(total, successes, draws)
+/// distribution — the dispatch criterion between the two samplers below.
+[[nodiscard]] inline double hypergeometric_sd(std::uint64_t total, std::uint64_t successes,
+                                              std::uint64_t draws) noexcept {
+    const double N = static_cast<double>(total);
+    const double p = static_cast<double>(successes) / N;
+    const double k = static_cast<double>(draws);
+    return std::sqrt(k * p * (1.0 - p) * (N - k) / (N - 1.0));
+}
 
-/// Samples the hypergeometric distribution: the number of successes among
-/// `draws` draws without replacement from a population of `total` items of
-/// which `successes` are successes. Inversion from the mode (zig-zag chop
-/// down), so the expected work is O(standard deviation) regardless of the
-/// parameter regime; the mode probability is computed once via lgamma.
-/// Exact in distribution up to double-precision rounding of the pmf, which
-/// is the same trade every production hypergeometric sampler makes.
+/// Inversion from the mode (zig-zag chop-down): expected work is
+/// O(standard deviation). The right tool when the distribution is narrow —
+/// a handful of pmf recurrence steps and one exp() — but its cost grows
+/// with √(draws) in the wide regime.
 template <typename Generator>
-[[nodiscard]] std::uint64_t hypergeometric(Generator& gen, std::uint64_t total,
-                                           std::uint64_t successes, std::uint64_t draws) {
+[[nodiscard]] std::uint64_t hypergeometric_inversion(Generator& gen, std::uint64_t total,
+                                                     std::uint64_t successes,
+                                                     std::uint64_t draws) {
     const std::uint64_t lo =
         draws + successes > total ? draws + successes - total : 0;
     const std::uint64_t hi = std::min(draws, successes);
@@ -215,9 +221,9 @@ template <typename Generator>
     auto mode = static_cast<std::uint64_t>(((k + 1.0) * (K + 1.0)) / (N + 2.0));
     mode = std::clamp(mode, lo, hi);
 
-    const double log_pm = detail::log_choose(successes, mode) +
-                          detail::log_choose(total - successes, draws - mode) -
-                          detail::log_choose(total, draws);
+    const double log_pm = log_choose(successes, mode) +
+                          log_choose(total - successes, draws - mode) -
+                          log_choose(total, draws);
     const double pm = std::exp(log_pm);
 
     double u = uniform_unit(gen) - pm;
@@ -251,6 +257,92 @@ template <typename Generator>
         // remaining mass is below double precision; return the mode.
         if (!stepped) return mode;
     }
+}
+
+/// Ratio-of-uniforms rejection sampler (Stadlober's H2PE/HRUA* scheme, the
+/// same algorithm behind NumPy's wide-regime hypergeometric): O(1) expected
+/// PRNG draws and log-factorial evaluations *independent of the standard
+/// deviation*, with an acceptance squeeze that skips the exact pmf
+/// evaluation for most candidates. Used when the distribution is wide,
+/// where inversion's O(sd) walk would dominate the batched engine's
+/// per-batch cost; the two samplers draw from the identical distribution
+/// (agreement is tested against the exact pmf for both).
+template <typename Generator>
+[[nodiscard]] std::uint64_t hypergeometric_hrua(Generator& gen, std::uint64_t total,
+                                                std::uint64_t successes,
+                                                std::uint64_t draws) {
+    // Work on the smaller of each symmetric pair (successes vs failures,
+    // draws vs non-draws); undo the reflections at the end.
+    const std::uint64_t good = successes;
+    const std::uint64_t bad = total - successes;
+    const std::uint64_t min_gb = std::min(good, bad);
+    const std::uint64_t max_gb = std::max(good, bad);
+    const std::uint64_t m = std::min(draws, total - draws);
+
+    constexpr double d1 = 1.7155277699214135;  // 2·sqrt(2/e)
+    constexpr double d2 = 0.8989161620588988;  // 3 − 2·sqrt(3/e)
+
+    const double popsize = static_cast<double>(total);
+    const double md = static_cast<double>(m);
+    const double d4 = static_cast<double>(min_gb) / popsize;
+    const double d5 = 1.0 - d4;
+    const double d6 = md * d4 + 0.5;
+    const double d7 =
+        std::sqrt((popsize - md) * md * d4 * d5 / (popsize - 1.0) + 0.5);
+    const double d8 = d1 * d7 + d2;
+    const auto mode = static_cast<std::uint64_t>(
+        static_cast<double>(m + 1) * static_cast<double>(min_gb + 1) /
+        (popsize + 2.0));
+    const double d10 = log_factorial(mode) + log_factorial(min_gb - mode) +
+                       log_factorial(m - mode) + log_factorial(max_gb - m + mode);
+    const double d11 = std::min(static_cast<double>(std::min(m, min_gb) + 1),
+                                std::floor(d6 + 16.0 * d7));
+
+    std::uint64_t z = 0;
+    while (true) {
+        const double x = uniform_unit(gen);
+        const double y = uniform_unit(gen);
+        if (x == 0.0) continue;  // open interval: avoid the division blow-up
+        const double w = d6 + d8 * (y - 0.5) / x;
+        if (w < 0.0 || w >= d11) continue;  // outside the candidate window
+        z = static_cast<std::uint64_t>(std::floor(w));
+        const double t = d10 - (log_factorial(z) + log_factorial(min_gb - z) +
+                                log_factorial(m - z) + log_factorial(max_gb - m + z));
+        if (x * (4.0 - x) - 3.0 <= t) break;       // squeeze accept
+        if (x * (x - t) >= 1.0) continue;          // squeeze reject
+        if (2.0 * std::log(x) <= t) break;         // exact acceptance test
+    }
+    if (good > bad) z = m - z;
+    if (m < draws) z = good - z;
+    return z;
+}
+
+}  // namespace detail
+
+/// Samples the hypergeometric distribution: the number of successes among
+/// `draws` draws without replacement from a population of `total` items of
+/// which `successes` are successes. Two regimes behind one interface:
+/// narrow distributions (sd ≤ 16) use inversion from the mode (expected
+/// O(sd) work, tiny constants), wide ones use the H2PE-style
+/// ratio-of-uniforms rejection sampler (expected O(1) work regardless of
+/// the parameters). Both are exact in distribution up to double-precision
+/// rounding of the pmf, the trade every production hypergeometric sampler
+/// makes.
+template <typename Generator>
+[[nodiscard]] std::uint64_t hypergeometric(Generator& gen, std::uint64_t total,
+                                           std::uint64_t successes, std::uint64_t draws) {
+    const std::uint64_t lo =
+        draws + successes > total ? draws + successes - total : 0;
+    const std::uint64_t hi = std::min(draws, successes);
+    if (lo >= hi) return lo;
+    // Cheap pre-gate: sd ≤ √(draws·p·(1−p)) ≤ √draws / 2, and symmetrically
+    // for the support width, so small parameters prove "narrow" without the
+    // sqrt of the exact-sd test — the common case in multi-state batches.
+    if (draws <= 1024 || hi - lo <= 64 ||
+        detail::hypergeometric_sd(total, successes, draws) <= 16.0) {
+        return detail::hypergeometric_inversion(gen, total, successes, draws);
+    }
+    return detail::hypergeometric_hrua(gen, total, successes, draws);
 }
 
 /// Samples the length of the collision-free run at the start of a batch: the

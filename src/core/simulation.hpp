@@ -1,0 +1,399 @@
+/// \file simulation.hpp
+/// \brief The type-erased run layer: one `Simulation` interface over both
+/// back-ends (the per-interaction `Engine<P>` and the count-based
+/// `BatchedEngine<P>`), plus the observer hook that lets trajectory
+/// recorders and convergence monitors watch any run without entering the
+/// per-interaction hot loop.
+///
+/// Everything above the engines — the registry, the experiment driver, the
+/// CLI, the benches — speaks this interface. The engines themselves stay
+/// statically typed: an adapter holds the concrete engine by value and the
+/// virtual dispatch sits at *chunk* granularity (one call per run, or one
+/// per observer deadline), never per interaction, so registry-level runs
+/// keep the templated engines' throughput.
+///
+/// Observer semantics: an observer declares the absolute step index at which
+/// it next wants to look (`next_due`). The run layer slices the step budget
+/// at the earliest deadline across observers, advances the engine with its
+/// native specialised loop, and notifies every observer at the boundary. On
+/// the batched engine a boundary merely clamps a batch, so the cadence cost
+/// is O(#states) per observation — independent of n. With no observers
+/// attached, run calls delegate straight to the engine's loop.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "batched_engine.hpp"
+#include "common.hpp"
+#include "engine.hpp"
+#include "protocol.hpp"
+
+namespace ppsim {
+
+/// One state's share of a configuration snapshot, keyed by the protocol's
+/// canonical 64-bit state key (`state_key_of` — injective on reachable
+/// states, identical across engines for the same protocol).
+struct StateCount {
+    std::uint64_t key = 0;     ///< canonical state key
+    std::uint64_t count = 0;   ///< agents currently in this state
+    Role role = Role::follower;  ///< output of the state
+};
+
+/// A point-in-time census of the population by state. Obtaining one costs
+/// O(#live states) on the batched engine and O(n) on the agent engine.
+struct ConfigurationSnapshot {
+    StepCount step = 0;              ///< interactions executed when taken
+    std::vector<StateCount> counts;  ///< non-zero entries, sorted by key
+
+    /// Total number of agents in the snapshot (= n, by conservation).
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        std::uint64_t sum = 0;
+        for (const StateCount& sc : counts) sum += sc.count;
+        return sum;
+    }
+
+    /// Number of agents whose output is leader.
+    [[nodiscard]] std::uint64_t leaders() const noexcept {
+        std::uint64_t sum = 0;
+        for (const StateCount& sc : counts) {
+            if (sc.role == Role::leader) sum += sc.count;
+        }
+        return sum;
+    }
+
+    /// Count of the state with canonical key `key` (0 when absent).
+    [[nodiscard]] std::uint64_t count_of(std::uint64_t key) const noexcept {
+        for (const StateCount& sc : counts) {
+            if (sc.key == key) return sc.count;
+        }
+        return 0;
+    }
+};
+
+class Simulation;
+
+/// Hook into a Simulation's run loop. Observers never see individual
+/// interactions — they see the simulation at the step boundaries they ask
+/// for, which is what keeps observation free on the engines' hot paths.
+class SimulationObserver {
+public:
+    /// Sentinel deadline: "no scheduled observation" — the observer is then
+    /// only notified at natural boundaries (run start and run end).
+    static constexpr StepCount no_deadline = std::numeric_limits<StepCount>::max();
+
+    virtual ~SimulationObserver() = default;
+
+    /// Absolute step index at which this observer next wants `observe()`.
+    /// The run layer will stop at (not after) this step. Return
+    /// `no_deadline` for boundary-only observation.
+    [[nodiscard]] virtual StepCount next_due() const noexcept = 0;
+
+    /// Called at run start, at every reached deadline across all attached
+    /// observers, and at run end. `sim.steps()` may be short of this
+    /// observer's own deadline when another observer's came first.
+    virtual void observe(const Simulation& sim) = 0;
+
+    /// Called once at the end of each `run_until_one_leader` (predicate
+    /// reached or budget exhausted), after the final `observe` — the hook
+    /// for capturing the run's final configuration even off-stride. Plain
+    /// `run_for`/`step` calls do not fire it: they may be composed into a
+    /// larger caller-driven loop. Default: nothing extra.
+    virtual void finish(const Simulation& sim) { (void)sim; }
+};
+
+/// Type-erased simulation run: the uniform execution and observation
+/// surface over both engines. Instances are created per run (a simulation
+/// owns its engine, which owns its population/counts and PRNG stream).
+class Simulation {
+public:
+    virtual ~Simulation() = default;
+
+    // --- observation ------------------------------------------------------
+
+    [[nodiscard]] virtual std::size_t population_size() const noexcept = 0;
+    [[nodiscard]] virtual StepCount steps() const noexcept = 0;
+    [[nodiscard]] virtual std::size_t leader_count() const noexcept = 0;
+    [[nodiscard]] virtual std::optional<StepCount> stabilization_step() const noexcept = 0;
+    /// Which back-end this simulation runs on.
+    [[nodiscard]] virtual EngineKind engine_kind() const noexcept = 0;
+    /// Display name of the protocol being simulated.
+    [[nodiscard]] virtual std::string protocol_name() const = 0;
+    /// Number of distinct states with at least one agent. O(#states) on the
+    /// batched engine, O(n) on the agent engine.
+    [[nodiscard]] virtual std::size_t live_state_count() const = 0;
+    /// Census of the configuration by state. O(#states) on the batched
+    /// engine, O(n) on the agent engine. NOTE: for the loosely-stabilising
+    /// baseline the batched engine only reaches snapshot boundaries at batch
+    /// granularity, so transient configurations inside a batch are not
+    /// observable there (see README "Choosing an engine").
+    [[nodiscard]] virtual ConfigurationSnapshot state_counts() const = 0;
+
+    [[nodiscard]] double parallel_time() const noexcept {
+        return to_parallel_time(steps(), population_size());
+    }
+
+    // --- execution --------------------------------------------------------
+
+    /// Executes exactly one interaction (batched: a batch clamped to 1).
+    RunResult step() { return run_for(1); }
+
+    /// Runs exactly `count` further interactions. Observers see their
+    /// cadence but no `finish` (a run_for may be one slice of a larger
+    /// caller-driven loop).
+    RunResult run_for(StepCount count) {
+        if (observers_.empty()) return run_for_impl(count);
+        return run_observed(count, /*stop_at_single_leader=*/false,
+                            /*notify_finish=*/false);
+    }
+
+    /// Runs until exactly one leader remains or `max_steps` further
+    /// interactions have been executed, whichever comes first.
+    RunResult run_until_one_leader(StepCount max_steps) {
+        if (observers_.empty()) return run_until_one_leader_impl(max_steps);
+        return run_observed(max_steps, /*stop_at_single_leader=*/true,
+                            /*notify_finish=*/true);
+    }
+
+    /// Runs `count` additional interactions and reports whether every
+    /// agent's output stayed put — the stability certificate. Observers are
+    /// not consulted during verification (it is a certification suffix, not
+    /// part of the trajectory).
+    [[nodiscard]] bool verify_outputs_stable(StepCount count) {
+        return verify_outputs_stable_impl(count);
+    }
+
+    // --- observers --------------------------------------------------------
+
+    /// Attaches an observer for subsequent runs. The observer must stay
+    /// alive across every later run/verify call on this simulation (or be
+    /// removed with `clear_observers` first); it is never touched outside
+    /// those calls, so destruction order relative to the simulation itself
+    /// does not matter.
+    void add_observer(SimulationObserver& observer) { observers_.push_back(&observer); }
+
+    void clear_observers() noexcept { observers_.clear(); }
+
+    [[nodiscard]] std::size_t observer_count() const noexcept { return observers_.size(); }
+
+protected:
+    virtual RunResult run_for_impl(StepCount count) = 0;
+    virtual RunResult run_until_one_leader_impl(StepCount max_steps) = 0;
+    virtual bool verify_outputs_stable_impl(StepCount count) = 0;
+
+private:
+    /// The observed run loop: advance in chunks sliced at the earliest
+    /// observer deadline, notifying at every boundary. The engine's own
+    /// specialised loop runs inside each chunk.
+    RunResult run_observed(StepCount budget, bool stop_at_single_leader,
+                           bool notify_finish) {
+        const StepCount start = steps();
+        const StepCount end =
+            budget > std::numeric_limits<StepCount>::max() - start
+                ? std::numeric_limits<StepCount>::max()
+                : start + budget;
+        notify();
+        while (!(stop_at_single_leader && leader_count() == 1) && steps() < end) {
+            const StepCount now = steps();
+            StepCount next = end;
+            for (const SimulationObserver* obs : observers_) {
+                next = std::min(next, std::max(obs->next_due(), now + 1));
+            }
+            const StepCount chunk = next - now;
+            if (stop_at_single_leader) {
+                (void)run_until_one_leader_impl(chunk);
+            } else {
+                (void)run_for_impl(chunk);
+            }
+            notify();
+        }
+        if (notify_finish) {
+            for (SimulationObserver* obs : observers_) obs->finish(*this);
+        }
+        return run_for_impl(0);  // assembles the RunResult for the current state
+    }
+
+    void notify() {
+        for (SimulationObserver* obs : observers_) obs->observe(*this);
+    }
+
+    std::vector<SimulationObserver*> observers_;
+};
+
+/// Runs `sim` to a single leader within `max_steps`, then (optionally)
+/// certifies output stability over `verify_steps` extra interactions,
+/// demoting `converged` if any output changed. The one shared definition of
+/// "run an election" used by the registry, the sweeps and the CLI.
+[[nodiscard]] inline RunResult run_to_single_leader(Simulation& sim, StepCount max_steps,
+                                                    StepCount verify_steps = 0) {
+    RunResult result = sim.run_until_one_leader(max_steps);
+    if (verify_steps > 0 && result.converged) {
+        if (!sim.verify_outputs_stable(verify_steps)) result.converged = false;
+        result.steps = sim.steps();
+        result.parallel_time = to_parallel_time(sim.steps(), sim.population_size());
+        result.leader_count = sim.leader_count();
+    }
+    return result;
+}
+
+namespace detail {
+
+/// Shared snapshot assembly: histogram (key → count/role) to sorted vector.
+inline ConfigurationSnapshot finalize_snapshot(
+    StepCount step, std::vector<StateCount>&& counts) {
+    ConfigurationSnapshot snapshot;
+    snapshot.step = step;
+    snapshot.counts = std::move(counts);
+    std::sort(snapshot.counts.begin(), snapshot.counts.end(),
+              [](const StateCount& a, const StateCount& b) { return a.key < b.key; });
+    return snapshot;
+}
+
+/// Simulation adapter over the per-interaction agent engine.
+template <Protocol P>
+class AgentSimulation final : public Simulation {
+public:
+    AgentSimulation(P proto, std::size_t n, std::uint64_t seed)
+        : engine_(std::move(proto), n, seed) {}
+
+    [[nodiscard]] std::size_t population_size() const noexcept override {
+        return engine_.population_size();
+    }
+    [[nodiscard]] StepCount steps() const noexcept override { return engine_.steps(); }
+    [[nodiscard]] std::size_t leader_count() const noexcept override {
+        return engine_.leader_count();
+    }
+    [[nodiscard]] std::optional<StepCount> stabilization_step() const noexcept override {
+        return engine_.stabilization_step();
+    }
+    [[nodiscard]] EngineKind engine_kind() const noexcept override {
+        return EngineKind::agent;
+    }
+    [[nodiscard]] std::string protocol_name() const override {
+        return std::string(engine_.protocol().name());
+    }
+    [[nodiscard]] std::size_t live_state_count() const override {
+        std::unordered_set<std::uint64_t> keys;
+        const P& proto = engine_.protocol();
+        for (const auto& state : engine_.population().states()) {
+            keys.insert(state_key_of(proto, state));
+        }
+        return keys.size();
+    }
+    [[nodiscard]] ConfigurationSnapshot state_counts() const override {
+        std::unordered_map<std::uint64_t, StateCount> histogram;
+        const P& proto = engine_.protocol();
+        for (const auto& state : engine_.population().states()) {
+            const std::uint64_t key = state_key_of(proto, state);
+            StateCount& entry = histogram[key];
+            if (entry.count == 0) {
+                entry.key = key;
+                entry.role = proto.output(state);
+            }
+            ++entry.count;
+        }
+        std::vector<StateCount> counts;
+        counts.reserve(histogram.size());
+        for (auto& [key, entry] : histogram) counts.push_back(entry);
+        return finalize_snapshot(engine_.steps(), std::move(counts));
+    }
+
+    /// The wrapped engine, for typed access in tests and examples.
+    [[nodiscard]] Engine<P>& engine() noexcept { return engine_; }
+
+protected:
+    RunResult run_for_impl(StepCount count) override { return engine_.run_for(count); }
+    RunResult run_until_one_leader_impl(StepCount max_steps) override {
+        return engine_.run_until_one_leader(max_steps);
+    }
+    bool verify_outputs_stable_impl(StepCount count) override {
+        return engine_.verify_outputs_stable(count);
+    }
+
+private:
+    Engine<P> engine_;
+};
+
+/// Simulation adapter over the count-based batched engine.
+template <typename P>
+    requires InternableProtocol<P>
+class BatchedSimulation final : public Simulation {
+public:
+    BatchedSimulation(P proto, std::size_t n, std::uint64_t seed)
+        : engine_(std::move(proto), n, seed) {}
+
+    [[nodiscard]] std::size_t population_size() const noexcept override {
+        return engine_.population_size();
+    }
+    [[nodiscard]] StepCount steps() const noexcept override { return engine_.steps(); }
+    [[nodiscard]] std::size_t leader_count() const noexcept override {
+        return engine_.leader_count();
+    }
+    [[nodiscard]] std::optional<StepCount> stabilization_step() const noexcept override {
+        return engine_.stabilization_step();
+    }
+    [[nodiscard]] EngineKind engine_kind() const noexcept override {
+        return EngineKind::batched;
+    }
+    [[nodiscard]] std::string protocol_name() const override {
+        return std::string(engine_.protocol().name());
+    }
+    [[nodiscard]] std::size_t live_state_count() const override {
+        return engine_.live_state_count();
+    }
+    [[nodiscard]] ConfigurationSnapshot state_counts() const override {
+        std::vector<StateCount> counts;
+        const P& proto = engine_.protocol();
+        engine_.visit_counts([&](const auto& state, std::uint64_t count, Role role) {
+            counts.push_back(StateCount{state_key_of(proto, state), count, role});
+        });
+        return finalize_snapshot(engine_.steps(), std::move(counts));
+    }
+
+    /// The wrapped engine, for typed access in tests and examples.
+    [[nodiscard]] BatchedEngine<P>& engine() noexcept { return engine_; }
+
+protected:
+    RunResult run_for_impl(StepCount count) override { return engine_.run_for(count); }
+    RunResult run_until_one_leader_impl(StepCount max_steps) override {
+        return engine_.run_until_one_leader(max_steps);
+    }
+    bool verify_outputs_stable_impl(StepCount count) override {
+        return engine_.verify_outputs_stable(count);
+    }
+
+private:
+    BatchedEngine<P> engine_;
+};
+
+}  // namespace detail
+
+/// Builds a type-erased simulation from a protocol factory (size → protocol
+/// instance) on the selected back-end. The single place the agent/batched
+/// choice is made for every type-erased consumer; adding an engine means
+/// adding a row to `engine_table` and a case here.
+template <typename Factory>
+[[nodiscard]] std::unique_ptr<Simulation> make_simulation(const Factory& factory,
+                                                          std::size_t n,
+                                                          std::uint64_t seed,
+                                                          EngineKind kind) {
+    using P = std::decay_t<decltype(factory(std::size_t{2}))>;
+    static_assert(Protocol<P>, "factory must produce a Protocol");
+    if (kind == EngineKind::batched) {
+        if constexpr (InternableProtocol<P>) {
+            return std::make_unique<detail::BatchedSimulation<P>>(factory(n), n, seed);
+        } else {
+            throw InvalidArgument(
+                "protocol has no injective state key: batched engine unavailable");
+        }
+    }
+    return std::make_unique<detail::AgentSimulation<P>>(factory(n), n, seed);
+}
+
+}  // namespace ppsim

@@ -68,23 +68,33 @@ const ProtocolInfo& ProtocolRegistry::info(const std::string& name) const {
     return entry(name).info;
 }
 
+std::unique_ptr<Simulation> ProtocolRegistry::make_simulation(const std::string& name,
+                                                              std::size_t n,
+                                                              std::uint64_t seed,
+                                                              EngineKind engine) const {
+    return entry(name).simulate(n, seed, engine);
+}
+
 RunResult ProtocolRegistry::run_election(const std::string& name, std::size_t n,
                                          std::uint64_t seed, StepCount max_steps,
                                          EngineKind engine) const {
-    return entry(name).run(n, seed, max_steps, 0, engine);
+    const auto sim = make_simulation(name, n, seed, engine);
+    return run_to_single_leader(*sim, max_steps);
 }
 
 RunResult ProtocolRegistry::run_election_verified(const std::string& name, std::size_t n,
                                                   std::uint64_t seed, StepCount max_steps,
                                                   StepCount verify_steps,
                                                   EngineKind engine) const {
-    return entry(name).run(n, seed, max_steps, verify_steps, engine);
+    const auto sim = make_simulation(name, n, seed, engine);
+    return run_to_single_leader(*sim, max_steps, verify_steps);
 }
 
 RunResult ProtocolRegistry::run_for(const std::string& name, std::size_t n,
                                     std::uint64_t seed, StepCount steps,
                                     EngineKind engine) const {
-    return entry(name).run_for(n, seed, steps, engine);
+    const auto sim = make_simulation(name, n, seed, engine);
+    return sim->run_for(steps);
 }
 
 std::unique_ptr<AnyProtocol> ProtocolRegistry::make(const std::string& name,

@@ -9,9 +9,8 @@
 #include <string>
 #include <vector>
 
-#include "../core/batched_engine.hpp"
-#include "../core/engine.hpp"
 #include "../core/protocol.hpp"
+#include "../core/simulation.hpp"
 
 namespace ppsim {
 
@@ -23,10 +22,11 @@ struct ProtocolInfo {
     std::string theory_time;    ///< asymptotic expected stabilisation time
 };
 
-/// Registry of runnable protocols. Each entry can (a) run a full election on
-/// the fast templated engine and (b) hand out a type-erased instance for
-/// state-space analysis. Protocols are instantiated per population size
-/// (they are non-uniform, exactly as in the paper: PLL receives m).
+/// Registry of runnable protocols. Each entry can (a) hand out a
+/// type-erased `Simulation` over either engine and (b) hand out a
+/// type-erased protocol instance for state-space analysis. Protocols are
+/// instantiated per population size (they are non-uniform, exactly as in
+/// the paper: PLL receives m).
 class ProtocolRegistry {
 public:
     /// The process-wide registry with all built-in protocols registered.
@@ -39,6 +39,14 @@ public:
 
     /// Metadata for a registered protocol; throws on unknown names.
     [[nodiscard]] const ProtocolInfo& info(const std::string& name) const;
+
+    /// Builds a ready-to-run type-erased simulation of `name` on `n` agents
+    /// with the given seed and back-end — the single factory every
+    /// type-erased consumer (sweeps, CLI, benches) goes through. Attach
+    /// observers (core/observer.hpp) before running to record trajectories.
+    [[nodiscard]] std::unique_ptr<Simulation> make_simulation(
+        const std::string& name, std::size_t n, std::uint64_t seed,
+        EngineKind engine = EngineKind::agent) const;
 
     /// Runs a full election of `name` on n agents with the given seed.
     /// `max_steps` bounds the run; `engine` selects the back-end (the fast
@@ -74,16 +82,8 @@ public:
         static_assert(Protocol<P>, "factory must produce a Protocol");
         Entry entry;
         entry.info = std::move(info);
-        entry.run = [factory](std::size_t n, std::uint64_t seed, StepCount max_steps,
-                              StepCount verify_steps, EngineKind kind) {
-            return dispatch_engine(factory, n, seed, kind, [&](auto& engine) {
-                return finish_run(engine, n, max_steps, verify_steps);
-            });
-        };
-        entry.run_for = [factory](std::size_t n, std::uint64_t seed, StepCount steps,
-                                  EngineKind kind) {
-            return dispatch_engine(factory, n, seed, kind,
-                                   [&](auto& engine) { return engine.run_for(steps); });
+        entry.simulate = [factory](std::size_t n, std::uint64_t seed, EngineKind kind) {
+            return ppsim::make_simulation(factory, n, seed, kind);
         };
         entry.make = [factory](std::size_t n) { return erase_protocol(factory(n)); };
         entries_.push_back(std::move(entry));
@@ -94,45 +94,13 @@ public:
 private:
     struct Entry {
         ProtocolInfo info;
-        std::function<RunResult(std::size_t, std::uint64_t, StepCount, StepCount, EngineKind)>
-            run;
-        std::function<RunResult(std::size_t, std::uint64_t, StepCount, EngineKind)> run_for;
+        /// (n, seed, engine) → ready-to-run Simulation. All election and
+        /// fixed-work runs are built on this one factory; the run/verify
+        /// logic itself lives in core/simulation.hpp (run_to_single_leader).
+        std::function<std::unique_ptr<Simulation>(std::size_t, std::uint64_t, EngineKind)>
+            simulate;
         std::function<std::unique_ptr<AnyProtocol>(std::size_t)> make;
     };
-
-    /// Constructs the selected engine for one run and applies `fn` to it —
-    /// the single place the agent/batched choice is made for registry runs.
-    template <typename Factory, typename Fn>
-    static RunResult dispatch_engine(const Factory& factory, std::size_t n,
-                                     std::uint64_t seed, EngineKind kind, Fn&& fn) {
-        using P = decltype(factory(std::size_t{2}));
-        if (kind == EngineKind::batched) {
-            if constexpr (InternableProtocol<P>) {
-                BatchedEngine<P> engine(factory(n), n, seed);
-                return fn(engine);
-            } else {
-                throw InvalidArgument(
-                    "protocol has no injective state key: batched engine unavailable");
-            }
-        }
-        Engine<P> engine(factory(n), n, seed);
-        return fn(engine);
-    }
-
-    /// Shared run-until-one-leader + optional stability verification for
-    /// either engine (they expose the same execution surface).
-    template <typename AnyEngine>
-    static RunResult finish_run(AnyEngine& engine, std::size_t n, StepCount max_steps,
-                                StepCount verify_steps) {
-        RunResult result = engine.run_until_one_leader(max_steps);
-        if (verify_steps > 0 && result.converged) {
-            if (!engine.verify_outputs_stable(verify_steps)) result.converged = false;
-            result.steps = engine.steps();
-            result.parallel_time = to_parallel_time(engine.steps(), n);
-            result.leader_count = engine.leader_count();
-        }
-        return result;
-    }
 
     [[nodiscard]] const Entry& entry(const std::string& name) const;
 

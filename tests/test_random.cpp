@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -119,6 +121,131 @@ TEST(Xoshiro256pp, SatisfiesUniformRandomBitGenerator) {
     static_assert(Xoshiro256pp::max() == std::numeric_limits<std::uint64_t>::max());
     Xoshiro256pp gen(1);
     (void)gen();
+}
+
+// --- hypergeometric sampler agreement (inversion vs H2PE rejection) ---------
+
+// Exact mean and sd of Hypergeometric(total, successes, draws).
+struct HypergeometricMoments {
+    double mean;
+    double sd;
+};
+
+HypergeometricMoments exact_moments(std::uint64_t total, std::uint64_t successes,
+                                    std::uint64_t draws) {
+    const double N = static_cast<double>(total);
+    const double p = static_cast<double>(successes) / N;
+    const double k = static_cast<double>(draws);
+    return {k * p, std::sqrt(k * p * (1.0 - p) * (N - k) / (N - 1.0))};
+}
+
+// Empirical mean/sd of `reps` samples drawn by `sampler`.
+template <typename Sampler>
+HypergeometricMoments sample_moments(Sampler&& sampler, int reps) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        const double x = static_cast<double>(sampler());
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / reps;
+    return {mean, std::sqrt(std::max(0.0, sum_sq / reps - mean * mean))};
+}
+
+TEST(Hypergeometric, RejectionSamplerMatchesExactMoments) {
+    // Wide regime: sd ≈ 43, far beyond the inversion threshold, so the
+    // public dispatcher takes the H2PE rejection path.
+    const std::uint64_t total = 40000;
+    const std::uint64_t successes = 20000;
+    const std::uint64_t draws = 10000;
+    ASSERT_GT(detail::hypergeometric_sd(total, successes, draws), 16.0);
+
+    Rng gen(2024);
+    const int reps = 200000;
+    const auto empirical = sample_moments(
+        [&] { return hypergeometric(gen, total, successes, draws); }, reps);
+    const auto exact = exact_moments(total, successes, draws);
+    // 5σ tolerance on the mean; 2% on the standard deviation.
+    EXPECT_NEAR(empirical.mean, exact.mean, 5.0 * exact.sd / std::sqrt(reps));
+    EXPECT_NEAR(empirical.sd, exact.sd, 0.02 * exact.sd);
+}
+
+TEST(Hypergeometric, RejectionSamplerMatchesExactPmf) {
+    // Bin-by-bin check of the H2PE path against the exact pmf over the
+    // mode ± 5 sd region (≥ 99.9999% of the mass).
+    const std::uint64_t total = 30000;
+    const std::uint64_t successes = 9000;
+    const std::uint64_t draws = 4000;
+    const auto exact = exact_moments(total, successes, draws);
+    ASSERT_GT(exact.sd, 16.0);
+
+    Rng gen(77);
+    const int reps = 300000;
+    std::map<std::uint64_t, int> freq;
+    for (int i = 0; i < reps; ++i) {
+        ++freq[detail::hypergeometric_hrua(gen, total, successes, draws)];
+    }
+    const auto lo = static_cast<std::uint64_t>(exact.mean - 5.0 * exact.sd);
+    const auto hi = static_cast<std::uint64_t>(exact.mean + 5.0 * exact.sd);
+    double covered = 0.0;
+    for (std::uint64_t x = lo; x <= hi; ++x) {
+        const double p =
+            std::exp(detail::log_choose(successes, x) +
+                     detail::log_choose(total - successes, draws - x) -
+                     detail::log_choose(total, draws));
+        covered += p;
+        const double observed = static_cast<double>(freq[x]) / reps;
+        const double sigma = std::sqrt(p * (1.0 - p) / reps);
+        EXPECT_NEAR(observed, p, 5.0 * sigma + 1e-5) << "x = " << x;
+    }
+    EXPECT_GT(covered, 0.999);
+}
+
+TEST(Hypergeometric, BothPathsAgreeOnTheSameParameters) {
+    // Head-to-head on parameters both samplers handle: identical moments
+    // within combined standard error (they share no code beyond log_choose).
+    const std::uint64_t total = 5000;
+    const std::uint64_t successes = 1500;
+    const std::uint64_t draws = 800;
+    const auto exact = exact_moments(total, successes, draws);
+
+    Rng gen_a(11);
+    Rng gen_b(12);
+    const int reps = 150000;
+    const auto inv = sample_moments(
+        [&] { return detail::hypergeometric_inversion(gen_a, total, successes, draws); },
+        reps);
+    const auto rej = sample_moments(
+        [&] { return detail::hypergeometric_hrua(gen_b, total, successes, draws); },
+        reps);
+    const double se = exact.sd * std::sqrt(2.0 / reps);
+    EXPECT_NEAR(inv.mean, rej.mean, 5.0 * se);
+    EXPECT_NEAR(inv.sd, rej.sd, 0.03 * exact.sd);
+}
+
+TEST(Hypergeometric, RejectionPathRespectsSupport) {
+    // Forced minimum successes (draws + successes > total) in a regime wide
+    // enough for the rejection path.
+    const std::uint64_t total = 50000;
+    const std::uint64_t successes = 30000;
+    const std::uint64_t draws = 30000;
+    const std::uint64_t lo = draws + successes - total;
+    Rng gen(5);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t x = hypergeometric(gen, total, successes, draws);
+        ASSERT_GE(x, lo);
+        ASSERT_LE(x, std::min(draws, successes));
+    }
+}
+
+TEST(Hypergeometric, IsDeterministicForEqualSeeds) {
+    Rng a(99);
+    Rng b(99);
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_EQ(hypergeometric(a, 100000, 40000, 20000),
+                  hypergeometric(b, 100000, 40000, 20000));
+    }
 }
 
 }  // namespace

@@ -52,8 +52,11 @@ Measurement measure(const std::string& protocol, EngineKind engine, std::size_t 
         const auto start = std::chrono::steady_clock::now();
         // run_for, not run_election: fixed work regardless of convergence,
         // so fast-converging protocols don't degenerate into measuring
-        // engine construction.
-        const RunResult run = registry.run_for(protocol, n, seed++, steps_per_run, engine);
+        // engine construction. Built through the type-erased Simulation
+        // layer — the virtual dispatch is per run, not per interaction, so
+        // this measures the same hot loops as the templated benches.
+        const auto sim = registry.make_simulation(protocol, n, seed++, engine);
+        const RunResult run = sim->run_for(steps_per_run);
         const auto stop = std::chrono::steady_clock::now();
         m.steps += run.steps;
         m.seconds += std::chrono::duration<double>(stop - start).count();

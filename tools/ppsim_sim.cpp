@@ -3,8 +3,10 @@
 // model-check tiny populations, and emit JSON artefacts.
 //
 //   ppsim_sim --protocol pll --n 4096 --seed 7 --reps 50 --json out.json
+//   ppsim_sim --protocol pll --n 65536 --engine batched --trajectory traj.csv
 //   ppsim_sim --protocol angluin06 --model-check --n 4
 //   ppsim_sim --list
+#include <algorithm>
 #include <iostream>
 
 #include "analysis/experiment.hpp"
@@ -13,6 +15,7 @@
 #include "analysis/statespace.hpp"
 #include "core/args.hpp"
 #include "core/json.hpp"
+#include "core/observer.hpp"
 #include "core/table.hpp"
 #include "protocols/registry.hpp"
 
@@ -23,19 +26,47 @@ using namespace ppsim;
 ArgParser make_parser() {
     ArgParser args;
     args.declare("protocol", "registry name of the protocol to run", "pll");
-    args.declare("engine", "simulation back-end: agent | batched", "agent");
+    args.declare("engine", "simulation back-end: " + engine_kind_list(), "agent");
     args.declare("n", "population size", "1024");
     args.declare("seed", "root PRNG seed", "2019");
     args.declare("reps", "seeded repetitions", "20");
     args.declare("budget-factor", "step budget as factor * n * log2(n)", "3000");
     args.declare("verify", "extra interactions of output-stability verification", "0");
     args.declare("json", "write results to this JSON file", "");
+    args.declare("trajectory",
+                 "record one seeded run's leader-count time series to this CSV file", "");
+    args.declare("trajectory-every",
+                 "trajectory sample cadence in interactions (default: n/4)", "0");
+    args.declare("trajectory-live-states",
+                 "record the distinct-state census per sample (O(n) per sample "
+                 "on the agent engine)",
+                 "true");
     args.declare("states", "also count reachable states per agent");
     args.declare("model-check", "exhaustively model-check a tiny population");
     args.declare("max-configs", "model-checker configuration budget", "200000");
     args.declare("list", "list registered protocols and exit");
     args.declare("help", "show this help");
     return args;
+}
+
+/// Runs one seeded election with a TrajectoryRecorder attached and writes
+/// the series as CSV. Returns false when the recording is unusable (empty
+/// or non-monotone), so the tool exits non-zero and the smoke tests catch it.
+bool write_trajectory(const std::string& protocol, std::size_t n, std::uint64_t seed,
+                      EngineKind engine, StepCount max_steps, StepCount stride,
+                      bool live_states, const std::string& path) {
+    const TrajectoryRun run =
+        record_trajectory(protocol, n, seed, max_steps, stride, engine, live_states);
+    write_trajectory_csv(path, run.points);
+    std::cout << "wrote " << path << " (" << run.points.size() << " samples, engine "
+              << to_string(engine) << ", "
+              << (run.result.converged ? "converged" : "did not converge") << " after "
+              << run.result.steps << " interactions)\n";
+    if (run.points.size() < 2) return false;
+    for (std::size_t i = 1; i < run.points.size(); ++i) {
+        if (run.points[i].step <= run.points[i - 1].step) return false;
+    }
+    return run.points.front().leader_count >= run.points.back().leader_count;
 }
 
 int run(const ArgParser& args) {
@@ -79,14 +110,26 @@ int run(const ArgParser& args) {
         return report.safety_holds && report.single_leader_absorbing ? 0 : 1;
     }
 
+    const EngineKind engine = parse_engine_kind(args.get_string("engine", "agent"));
+    const double factor = args.get_double("budget-factor", 3000.0);
+
+    if (const std::string path = args.get_string("trajectory", ""); !path.empty()) {
+        StepCount stride = args.get_u64("trajectory-every", 0);
+        if (stride == 0) stride = std::max<StepCount>(1, n / 4);
+        return write_trajectory(protocol, n, seed, engine,
+                                StepBudget::n_log_n(n, factor), stride,
+                                args.get_bool("trajectory-live-states", true), path)
+                   ? 0
+                   : 1;
+    }
+
     SweepConfig config;
     config.protocol = protocol;
-    config.engine = parse_engine_kind(args.get_string("engine", "agent"));
+    config.engine = engine;
     config.sizes = {n};
     config.repetitions = static_cast<std::size_t>(args.get_u64("reps", 20));
     config.seed = seed;
     config.verify_steps = args.get_u64("verify", 0);
-    const double factor = args.get_double("budget-factor", 3000.0);
     config.budget = [factor](std::size_t size) {
         return StepBudget::n_log_n(size, factor);
     };
