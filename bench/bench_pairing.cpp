@@ -1,0 +1,89 @@
+// Pairing-layer crossover benchmarks (google-benchmark): batched-engine
+// throughput under each BatchMode (auto = 0, pairwise = 1, bulk = 2 — the
+// enum values of src/core/batch_pairing.hpp) across population sizes, per
+// protocol. These locate the pairwise↔bulk crossover that the `auto`
+// heuristic encodes: bulk (contingency-table) pairing wins once the batch
+// length Θ(√n) outgrows the sampled distinct-state-pair count, pairwise wins
+// for high-entropy profiles (many live states, e.g. mst18_style's nonces).
+// `tools/bench_to_json` commits the same comparison to BENCH_engine.json.
+#include <benchmark/benchmark.h>
+
+#include "core/batched_engine.hpp"
+#include "protocols/angluin.hpp"
+#include "protocols/loose.hpp"
+#include "protocols/lottery.hpp"
+#include "protocols/pll.hpp"
+
+namespace {
+
+using namespace ppsim;
+
+/// Runs 16n mid-election interactions per iteration on a fresh engine under
+/// the BatchMode given by the second benchmark argument — the same
+/// fixed-work window as `tools/bench_to_json`, so the two benches agree on
+/// what "crossover" means.
+template <typename P>
+void run_modes(benchmark::State& state, P proto) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto mode = static_cast<BatchMode>(state.range(1));
+    const auto steps = static_cast<StepCount>(16) * n;
+    std::uint64_t seed = 17;
+    for (auto _ : state) {
+        BatchedEngine<P> engine(proto, n, seed++, mode);
+        const RunResult r = engine.run_for(steps);
+        benchmark::DoNotOptimize(r.steps);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(steps));
+}
+
+void BM_PairingAngluin(benchmark::State& state) {
+    run_modes(state, Angluin{});
+}
+BENCHMARK(BM_PairingAngluin)
+    ->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {0, 1, 2}})
+    ->ArgNames({"n", "mode"});
+
+void BM_PairingLottery(benchmark::State& state) {
+    run_modes(state, Lottery::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_PairingLottery)
+    ->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {0, 1, 2}})
+    ->ArgNames({"n", "mode"});
+
+void BM_PairingLoose(benchmark::State& state) {
+    run_modes(state, LooselyStabilizing::for_population(
+                         static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_PairingLoose)
+    ->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {0, 1, 2}})
+    ->ArgNames({"n", "mode"});
+
+void BM_PairingPll(benchmark::State& state) {
+    run_modes(state, Pll::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_PairingPll)
+    ->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {0, 1, 2}})
+    ->ArgNames({"n", "mode"});
+
+/// The contingency sampler primitive itself: one multivariate hypergeometric
+/// draw of k items over m colours, the per-row cost unit of bulk pairing.
+void BM_MultivariateHypergeometric(benchmark::State& state) {
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const auto draws = static_cast<std::uint64_t>(state.range(1));
+    std::vector<std::uint64_t> counts(m, 1000);
+    std::vector<std::uint64_t> out(m, 0);
+    Rng gen(42);
+    for (auto _ : state) {
+        multivariate_hypergeometric(gen, counts.data(), m, draws, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MultivariateHypergeometric)
+    ->ArgsProduct({{4, 32, 256}, {1, 64, 1024}})
+    ->ArgNames({"colours", "draws"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

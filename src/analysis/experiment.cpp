@@ -56,6 +56,7 @@ SweepResult run_sweep(const SweepConfig& config) {
     SweepResult result;
     result.protocol = config.protocol;
     result.engine = config.engine;
+    result.batch_mode = config.batch_mode;
     for (const std::size_t n : config.sizes) {
         SweepPoint point;
         point.n = n;
@@ -67,8 +68,8 @@ SweepResult run_sweep(const SweepConfig& config) {
             config.repetitions, config.threads, [&](std::size_t rep) {
                 const std::uint64_t seed =
                     derive_seed(config.seed, (static_cast<std::uint64_t>(n) << 20U) + rep);
-                const auto sim =
-                    registry.make_simulation(config.protocol, n, seed, config.engine);
+                const auto sim = registry.make_simulation(config.protocol, n, seed,
+                                                          config.engine, config.batch_mode);
                 std::optional<TrajectoryRecorder> recorder;
                 if (config.trajectory_stride > 0) {
                     recorder.emplace(config.trajectory_stride,
@@ -123,10 +124,10 @@ std::vector<RunResult> run_repeated(const std::string& protocol, std::size_t n,
 TrajectoryRun record_trajectory(const std::string& protocol, std::size_t n,
                                 std::uint64_t seed, StepCount max_steps,
                                 StepCount stride, EngineKind engine,
-                                bool record_live_states) {
+                                bool record_live_states, BatchMode batch_mode) {
     const ProtocolRegistry& registry = ProtocolRegistry::instance();
     require(registry.contains(protocol), "unknown protocol: " + protocol);
-    const auto sim = registry.make_simulation(protocol, n, seed, engine);
+    const auto sim = registry.make_simulation(protocol, n, seed, engine, batch_mode);
     TrajectoryRecorder recorder(stride, record_live_states);
     sim->add_observer(recorder);
     TrajectoryRun out;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "../core/batch_pairing.hpp"
 #include "../core/common.hpp"
 #include "../core/engine.hpp"
 #include "../core/observer.hpp"
@@ -37,6 +38,10 @@ struct SweepConfig {
     /// Simulation back-end: per-interaction agent engine or count-based
     /// batched engine (same distribution, far faster at large n).
     EngineKind engine = EngineKind::agent;
+    /// Batch-pairing strategy of the batched engine (core/batch_pairing.hpp):
+    /// auto (per-batch choice), pairwise shuffle, or bulk contingency-table
+    /// sampling. Ignored by the agent engine.
+    BatchMode batch_mode = BatchMode::automatic;
     /// Step budget per n; defaults to StepBudget::n_log_n.
     std::function<StepCount(std::size_t)> budget;
     /// Extra steps of output-stability verification after convergence
@@ -84,6 +89,7 @@ struct SweepPoint {
 struct SweepResult {
     std::string protocol;
     EngineKind engine = EngineKind::agent;  ///< back-end the sweep ran on
+    BatchMode batch_mode = BatchMode::automatic;  ///< pairing strategy used
     std::vector<SweepPoint> points;
 
     /// Least-squares fit of mean stabilisation time against log2(n).
@@ -115,6 +121,7 @@ struct TrajectoryRun {
                                               std::uint64_t seed, StepCount max_steps,
                                               StepCount stride,
                                               EngineKind engine = EngineKind::agent,
-                                              bool record_live_states = true);
+                                              bool record_live_states = true,
+                                              BatchMode batch_mode = BatchMode::automatic);
 
 }  // namespace ppsim

@@ -18,9 +18,11 @@
 ///  2. The 2L agents are a uniform sample without replacement, so the
 ///     initiator and responder state multisets come from multivariate
 ///     hypergeometric chains over the count vector, and the pairing between
-///     them is a uniform random bijection (sampled either by nested
-///     hypergeometric chains when few distinct states are live, or by a
-///     Fisher–Yates shuffle of the expanded responder multiset otherwise).
+///     them is a uniform random bijection. The bijection is delegated to
+///     the pluggable pairing layer (batch_pairing.hpp): contingency-table
+///     sampling (O(#state pairs) per batch) or a Fisher–Yates shuffle of
+///     the expanded responder multiset (Θ(L)), selected by `BatchMode` —
+///     forced, or chosen per batch from the sampled state-count profile.
 ///  3. Each distinct ordered state pair (q_u, q_v) is applied through a
 ///     memoised transition table (dense matrix for low ids, hash map
 ///     beyond) and its count delta scaled by the pair's multiplicity —
@@ -53,6 +55,7 @@
 #include <utility>
 #include <vector>
 
+#include "batch_pairing.hpp"
 #include "common.hpp"
 #include "engine.hpp"  // RunResult
 #include "population.hpp"
@@ -72,8 +75,13 @@ class BatchedEngine {
 public:
     using State = typename P::State;
 
-    BatchedEngine(P protocol, std::size_t n, std::uint64_t seed)
-        : protocol_(std::move(protocol)), n_(n), rng_(seed), run_sampler_(n) {
+    BatchedEngine(P protocol, std::size_t n, std::uint64_t seed,
+                  BatchMode batch_mode = BatchMode::automatic)
+        : protocol_(std::move(protocol)),
+          n_(n),
+          rng_(seed),
+          run_sampler_(n),
+          batch_mode_(batch_mode) {
         require(n >= 2, "population must contain at least two agents");
         // The collision-step case weights t(t−1) and t(n−t) are computed in
         // 64 bits; with t = Θ(√n) they stay far below 2^64 for any n ≤ 2^32,
@@ -86,7 +94,7 @@ public:
         leader_count_ = index_.is_leader(init) ? n_ : 0;
         initiators_.reserve(64);
         responders_.reserve(64);
-        pair_list_.reserve(64);
+        pairs_.cells.reserve(64);
         touched_ids_.reserve(64);
     }
 
@@ -99,6 +107,8 @@ public:
     }
     [[nodiscard]] std::size_t leader_count() const noexcept { return leader_count_; }
     [[nodiscard]] const P& protocol() const noexcept { return protocol_; }
+    /// The pairing strategy this engine was configured with.
+    [[nodiscard]] BatchMode batch_mode() const noexcept { return batch_mode_; }
     [[nodiscard]] std::optional<StepCount> stabilization_step() const noexcept {
         return first_single_leader_step_;
     }
@@ -187,13 +197,6 @@ private:
         StateId out_b = invalid_state;
         std::int8_t leader_delta = 0;
         bool role_changed = false;
-    };
-
-    /// One aggregated batch entry: ordered state pair and its multiplicity.
-    struct PairCount {
-        StateId a;
-        StateId b;
-        std::uint64_t mult;
     };
 
     static constexpr StateId invalid_state = std::numeric_limits<StateId>::max();
@@ -393,114 +396,53 @@ private:
 
     /// Samples the `fresh` ordered state pairs of the collision-free run:
     /// initiator multiset, responder multiset, then a uniform random
-    /// bijection between them. Two exact pairing strategies with different
-    /// cost profiles: nested hypergeometric chains cost
-    /// O(#distinct_I · #distinct_R) sampler calls, the shuffle costs
-    /// O(fresh) PRNG draws — pick the cheaper. The counts path fills
-    /// pair_list_; the shuffle path leaves the pairs in scratch_a_/scratch_b_
-    /// (pair i = (scratch_a_[i], scratch_b_[i]), multiplicity 1).
+    /// bijection between them via the pairing layer (batch_pairing.hpp) —
+    /// contingency-table sampling or the expanded-multiset shuffle, per the
+    /// engine's BatchMode (the `auto` heuristic decides per batch from the
+    /// sampled state-count profile).
     void sample_fresh_pairs(std::uint64_t fresh) {
-        pair_list_.clear();
-        scratch_a_.clear();
-        scratch_b_.clear();
         sample_multiset(fresh, initiators_, /*compact=*/true);
         sample_multiset(fresh, responders_, /*compact=*/false);
-        if (initiators_.size() * responders_.size() <= fresh) {
-            pair_via_counts(fresh);
-        } else {
-            pair_via_shuffle();
-        }
+        sample_batch_pairing(batch_mode_, rng_, initiators_, responders_, fresh, pairs_);
     }
 
-    /// Uniform bijection via nested hypergeometric chains: the responders
-    /// matched to one initiator state's block form a without-replacement
-    /// sample of the remaining responder multiset.
-    void pair_via_counts(std::uint64_t fresh) {
-        std::uint64_t responders_left = fresh;
-        for (const auto& [state_a, count_a] : initiators_) {
-            std::uint64_t want = count_a;
-            std::uint64_t pool = responders_left;
-            for (auto& [state_b, count_b] : responders_) {
-                if (want == 0) break;
-                if (count_b == 0) continue;
-                const std::uint64_t y = hypergeometric(rng_, pool, count_b, want);
-                pool -= count_b;
-                if (y > 0) {
-                    pair_list_.push_back(PairCount{state_a, state_b, y});
-                    count_b -= y;
-                    want -= y;
-                    responders_left -= y;
-                }
-            }
-            if (want != 0) [[unlikely]] {
-                ensure(false, "bipartite matching chain under-matched");
-            }
-        }
-    }
-
-    /// Uniform bijection via Fisher–Yates: expand the responder multiset and
-    /// shuffle it against the (fixed-order) initiator expansion.
-    void pair_via_shuffle() {
-        for (const auto& [state_a, count_a] : initiators_) {
-            scratch_a_.insert(scratch_a_.end(), count_a, state_a);
-        }
-        for (const auto& [state_b, count_b] : responders_) {
-            scratch_b_.insert(scratch_b_.end(), count_b, state_b);
-        }
-        shuffle_vector(scratch_b_, rng_);
-    }
-
-    /// Applies every pair of the batch through the transition cache; locates
-    /// the exact stabilisation step when this batch crosses to one leader.
+    /// Applies every pair group of the batch through the transition cache;
+    /// locates the exact stabilisation step when this batch crosses to one
+    /// leader. O(#groups): cell count under bulk pairing, batch length under
+    /// pairwise.
     void apply_pairs(std::uint64_t fresh) {
         const StepCount steps_before = steps_;
         std::int64_t delta_total = 0;
         bool role_changed = false;
-        if (!pair_list_.empty()) {
-            for (const PairCount& pc : pair_list_) {
-                const CachedTransition& tr = transition(pc.a, pc.b);
-                touch(tr.out_a, pc.mult);
-                touch(tr.out_b, pc.mult);
-                delta_total += static_cast<std::int64_t>(tr.leader_delta) *
-                               static_cast<std::int64_t>(pc.mult);
-                role_changed |= tr.role_changed;
-            }
-        } else {
-            for (std::uint64_t i = 0; i < fresh; ++i) {
-                const CachedTransition& tr = transition(scratch_a_[i], scratch_b_[i]);
-                touch(tr.out_a, 1);
-                touch(tr.out_b, 1);
-                delta_total += tr.leader_delta;
-                role_changed |= tr.role_changed;
-            }
-        }
+        pairs_.for_each([&](StateId a, StateId b, std::uint64_t mult) {
+            const CachedTransition& tr = transition(a, b);
+            touch(tr.out_a, mult);
+            touch(tr.out_b, mult);
+            delta_total += static_cast<std::int64_t>(tr.leader_delta) *
+                           static_cast<std::int64_t>(mult);
+            role_changed |= tr.role_changed;
+        });
         role_change_seen_ = role_change_seen_ || role_changed;
         steps_ += fresh;
         const auto post = static_cast<std::size_t>(
             static_cast<std::int64_t>(leader_count_) + delta_total);
         if (!first_single_leader_step_ && post == 1 && leader_count_ != 1) {
-            first_single_leader_step_ = steps_before + crossing_offset(fresh);
+            first_single_leader_step_ = steps_before + crossing_offset();
         }
         leader_count_ = post;
     }
 
-    /// The batch's pairs are exchangeable, so conditioned on the multiset
-    /// their order is a uniform permutation: shuffle the per-pair leader
-    /// deltas and scan for the first prefix reaching exactly one leader.
-    /// Called at most once per run (single-leader is absorbing).
-    [[nodiscard]] std::uint64_t crossing_offset(std::uint64_t fresh) {
+    /// The batch's pairs are exchangeable — contingency cells no less than
+    /// shuffled pairs — so conditioned on the multiset their order is a
+    /// uniform permutation: shuffle the per-pair leader deltas and scan for
+    /// the first prefix reaching exactly one leader. Called at most once per
+    /// run (single-leader is absorbing).
+    [[nodiscard]] std::uint64_t crossing_offset() {
         scratch_deltas_.clear();
-        if (!pair_list_.empty()) {
-            for (const PairCount& pc : pair_list_) {
-                const CachedTransition& tr = transition(pc.a, pc.b);
-                scratch_deltas_.insert(scratch_deltas_.end(), pc.mult, tr.leader_delta);
-            }
-        } else {
-            for (std::uint64_t i = 0; i < fresh; ++i) {
-                scratch_deltas_.push_back(
-                    transition(scratch_a_[i], scratch_b_[i]).leader_delta);
-            }
-        }
+        pairs_.for_each([&](StateId a, StateId b, std::uint64_t mult) {
+            scratch_deltas_.insert(scratch_deltas_.end(), mult,
+                                   transition(a, b).leader_delta);
+        });
         shuffle_vector(scratch_deltas_, rng_);
         std::int64_t running = static_cast<std::int64_t>(leader_count_);
         for (std::uint64_t i = 0; i < scratch_deltas_.size(); ++i) {
@@ -614,11 +556,10 @@ private:
     StateId dense_dim_ = 0;
     std::vector<CachedTransition> dense_cache_;
     FlatTransitionMap overflow_cache_;
-    std::vector<std::pair<StateId, std::uint64_t>> initiators_;
-    std::vector<std::pair<StateId, std::uint64_t>> responders_;
-    std::vector<PairCount> pair_list_;
-    std::vector<StateId> scratch_a_;
-    std::vector<StateId> scratch_b_;
+    BatchMode batch_mode_ = BatchMode::automatic;
+    StateMultiset initiators_;
+    StateMultiset responders_;
+    BatchPairs pairs_;
     std::vector<std::int8_t> scratch_deltas_;
     StepCount steps_ = 0;
     std::size_t leader_count_ = 0;
@@ -629,10 +570,10 @@ private:
 /// Convenience mirror of simulate_to_single_leader for the batched engine.
 template <typename P>
     requires InternableProtocol<P>
-[[nodiscard]] RunResult batched_simulate_to_single_leader(P proto, std::size_t n,
-                                                          std::uint64_t seed,
-                                                          StepCount max_steps) {
-    BatchedEngine<P> engine(std::move(proto), n, seed);
+[[nodiscard]] RunResult batched_simulate_to_single_leader(
+    P proto, std::size_t n, std::uint64_t seed, StepCount max_steps,
+    BatchMode batch_mode = BatchMode::automatic) {
+    BatchedEngine<P> engine(std::move(proto), n, seed, batch_mode);
     return engine.run_until_one_leader(max_steps);
 }
 

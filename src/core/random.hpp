@@ -345,6 +345,77 @@ template <typename Generator>
     return detail::hypergeometric_hrua(gen, total, successes, draws);
 }
 
+/// Samples a multivariate hypergeometric vector: `draws` items are drawn
+/// without replacement from a population of `m` colours with `counts[i]`
+/// items of colour i, and `out[i]` receives the number drawn of colour i.
+/// The joint distribution is factored as a conditional chain of scalar
+/// hypergeometric draws (colour i against the pool of colours i..m−1), so
+/// the sampler is exact for any colour order and costs O(m) scalar draws.
+/// Two exactness-preserving fast paths keep the chain cheap in the batched
+/// engine's contingency-table use, where most rows want few items:
+///  * when the remaining pool must be drawn entirely, every colour's
+///    remainder is taken without touching the generator;
+///  * when exactly one item remains wanted, it is picked by a single
+///    categorical draw over the remaining colour masses.
+/// Requires sum(counts) >= draws; `counts` and `out` may alias (the counts
+/// are then replaced by the drawn amounts).
+template <typename Generator>
+void multivariate_hypergeometric(Generator& gen, const std::uint64_t* counts,
+                                 std::size_t m, std::uint64_t draws,
+                                 std::uint64_t* out) {
+    std::uint64_t pool = 0;
+    for (std::size_t i = 0; i < m; ++i) pool += counts[i];
+    if (draws > pool) [[unlikely]] {  // cheap check: no string temporary per call
+        require(false, "multivariate hypergeometric: draws exceed the population");
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t c = counts[i];
+        if (draws == 0) {
+            out[i] = 0;
+            continue;
+        }
+        if (draws == pool) {  // must take everything that is left
+            out[i] = c;
+            pool -= c;
+            draws -= c;
+            continue;
+        }
+        if (draws == 1) {
+            // One categorical draw locates the colour of the last wanted
+            // item; the remaining colours are zero-filled without touching
+            // the generator again.
+            std::uint64_t r = uniform_below(gen, pool);
+            for (std::size_t j = i; j < m; ++j) {
+                const std::uint64_t cj = counts[j];
+                if (r < cj) {
+                    out[j] = 1;
+                    for (std::size_t k = j + 1; k < m; ++k) out[k] = 0;
+                    return;
+                }
+                out[j] = 0;
+                r -= cj;
+            }
+            ensure(false, "multivariate hypergeometric categorical draw overran");
+        }
+        const std::uint64_t x = hypergeometric(gen, pool, c, draws);
+        out[i] = x;
+        pool -= c;
+        draws -= x;
+    }
+    if (draws != 0) [[unlikely]] {  // cheap check: no string temporary per call
+        ensure(false, "multivariate hypergeometric chain under-drew");
+    }
+}
+
+/// Vector convenience overload: returns the per-colour draw counts.
+template <typename Generator>
+[[nodiscard]] std::vector<std::uint64_t> multivariate_hypergeometric(
+    Generator& gen, const std::vector<std::uint64_t>& counts, std::uint64_t draws) {
+    std::vector<std::uint64_t> out(counts.size(), 0);
+    multivariate_hypergeometric(gen, counts.data(), counts.size(), draws, out.data());
+    return out;
+}
+
 /// Samples the length of the collision-free run at the start of a batch: the
 /// number L of consecutive uniformly scheduled interactions that touch 2L
 /// distinct agents before an interaction first re-uses an agent (the

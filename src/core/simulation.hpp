@@ -123,6 +123,12 @@ public:
     [[nodiscard]] virtual std::optional<StepCount> stabilization_step() const noexcept = 0;
     /// Which back-end this simulation runs on.
     [[nodiscard]] virtual EngineKind engine_kind() const noexcept = 0;
+    /// The batch-pairing strategy this simulation was configured with.
+    /// Meaningful on the batched engine; the agent engine has no batches and
+    /// reports the `auto` default.
+    [[nodiscard]] virtual BatchMode batch_mode() const noexcept {
+        return BatchMode::automatic;
+    }
     /// Display name of the protocol being simulated.
     [[nodiscard]] virtual std::string protocol_name() const = 0;
     /// Number of distinct states with at least one agent. O(#states) on the
@@ -325,8 +331,9 @@ template <typename P>
     requires InternableProtocol<P>
 class BatchedSimulation final : public Simulation {
 public:
-    BatchedSimulation(P proto, std::size_t n, std::uint64_t seed)
-        : engine_(std::move(proto), n, seed) {}
+    BatchedSimulation(P proto, std::size_t n, std::uint64_t seed,
+                      BatchMode batch_mode = BatchMode::automatic)
+        : engine_(std::move(proto), n, seed, batch_mode) {}
 
     [[nodiscard]] std::size_t population_size() const noexcept override {
         return engine_.population_size();
@@ -340,6 +347,9 @@ public:
     }
     [[nodiscard]] EngineKind engine_kind() const noexcept override {
         return EngineKind::batched;
+    }
+    [[nodiscard]] BatchMode batch_mode() const noexcept override {
+        return engine_.batch_mode();
     }
     [[nodiscard]] std::string protocol_name() const override {
         return std::string(engine_.protocol().name());
@@ -377,17 +387,19 @@ private:
 /// Builds a type-erased simulation from a protocol factory (size → protocol
 /// instance) on the selected back-end. The single place the agent/batched
 /// choice is made for every type-erased consumer; adding an engine means
-/// adding a row to `engine_table` and a case here.
+/// adding a row to `engine_table` and a case here. `batch_mode` selects the
+/// batched engine's pairing strategy (batch_pairing.hpp) and is ignored by
+/// the agent engine.
 template <typename Factory>
-[[nodiscard]] std::unique_ptr<Simulation> make_simulation(const Factory& factory,
-                                                          std::size_t n,
-                                                          std::uint64_t seed,
-                                                          EngineKind kind) {
+[[nodiscard]] std::unique_ptr<Simulation> make_simulation(
+    const Factory& factory, std::size_t n, std::uint64_t seed, EngineKind kind,
+    BatchMode batch_mode = BatchMode::automatic) {
     using P = std::decay_t<decltype(factory(std::size_t{2}))>;
     static_assert(Protocol<P>, "factory must produce a Protocol");
     if (kind == EngineKind::batched) {
         if constexpr (InternableProtocol<P>) {
-            return std::make_unique<detail::BatchedSimulation<P>>(factory(n), n, seed);
+            return std::make_unique<detail::BatchedSimulation<P>>(factory(n), n, seed,
+                                                                  batch_mode);
         } else {
             throw InvalidArgument(
                 "protocol has no injective state key: batched engine unavailable");

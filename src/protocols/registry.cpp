@@ -71,29 +71,31 @@ const ProtocolInfo& ProtocolRegistry::info(const std::string& name) const {
 std::unique_ptr<Simulation> ProtocolRegistry::make_simulation(const std::string& name,
                                                               std::size_t n,
                                                               std::uint64_t seed,
-                                                              EngineKind engine) const {
-    return entry(name).simulate(n, seed, engine);
+                                                              EngineKind engine,
+                                                              BatchMode batch_mode) const {
+    return entry(name).simulate(n, seed, engine, batch_mode);
 }
 
 RunResult ProtocolRegistry::run_election(const std::string& name, std::size_t n,
                                          std::uint64_t seed, StepCount max_steps,
-                                         EngineKind engine) const {
-    const auto sim = make_simulation(name, n, seed, engine);
+                                         EngineKind engine, BatchMode batch_mode) const {
+    const auto sim = make_simulation(name, n, seed, engine, batch_mode);
     return run_to_single_leader(*sim, max_steps);
 }
 
 RunResult ProtocolRegistry::run_election_verified(const std::string& name, std::size_t n,
                                                   std::uint64_t seed, StepCount max_steps,
                                                   StepCount verify_steps,
-                                                  EngineKind engine) const {
-    const auto sim = make_simulation(name, n, seed, engine);
+                                                  EngineKind engine,
+                                                  BatchMode batch_mode) const {
+    const auto sim = make_simulation(name, n, seed, engine, batch_mode);
     return run_to_single_leader(*sim, max_steps, verify_steps);
 }
 
 RunResult ProtocolRegistry::run_for(const std::string& name, std::size_t n,
                                     std::uint64_t seed, StepCount steps,
-                                    EngineKind engine) const {
-    const auto sim = make_simulation(name, n, seed, engine);
+                                    EngineKind engine, BatchMode batch_mode) const {
+    const auto sim = make_simulation(name, n, seed, engine, batch_mode);
     return sim->run_for(steps);
 }
 

@@ -44,31 +44,36 @@ public:
     /// with the given seed and back-end — the single factory every
     /// type-erased consumer (sweeps, CLI, benches) goes through. Attach
     /// observers (core/observer.hpp) before running to record trajectories.
+    /// `batch_mode` selects the batched engine's pairing strategy
+    /// (core/batch_pairing.hpp); the agent engine ignores it.
     [[nodiscard]] std::unique_ptr<Simulation> make_simulation(
         const std::string& name, std::size_t n, std::uint64_t seed,
-        EngineKind engine = EngineKind::agent) const;
+        EngineKind engine = EngineKind::agent,
+        BatchMode batch_mode = BatchMode::automatic) const;
 
     /// Runs a full election of `name` on n agents with the given seed.
     /// `max_steps` bounds the run; `engine` selects the back-end (the fast
     /// templated agent engine, or the count-based batched engine).
     [[nodiscard]] RunResult run_election(const std::string& name, std::size_t n,
                                          std::uint64_t seed, StepCount max_steps,
-                                         EngineKind engine = EngineKind::agent) const;
+                                         EngineKind engine = EngineKind::agent,
+                                         BatchMode batch_mode = BatchMode::automatic) const;
 
     /// As run_election, but additionally verifies output stability over
     /// `verify_steps` extra interactions; sets `converged = false` if any
     /// output changed after the detected stabilisation point.
-    [[nodiscard]] RunResult run_election_verified(const std::string& name, std::size_t n,
-                                                  std::uint64_t seed, StepCount max_steps,
-                                                  StepCount verify_steps,
-                                                  EngineKind engine = EngineKind::agent) const;
+    [[nodiscard]] RunResult run_election_verified(
+        const std::string& name, std::size_t n, std::uint64_t seed, StepCount max_steps,
+        StepCount verify_steps, EngineKind engine = EngineKind::agent,
+        BatchMode batch_mode = BatchMode::automatic) const;
 
     /// Runs exactly `steps` interactions regardless of convergence — the
     /// fixed-work entry point for throughput benchmarking (both engines
     /// clamp their final batch/step to the budget).
     [[nodiscard]] RunResult run_for(const std::string& name, std::size_t n,
                                     std::uint64_t seed, StepCount steps,
-                                    EngineKind engine = EngineKind::agent) const;
+                                    EngineKind engine = EngineKind::agent,
+                                    BatchMode batch_mode = BatchMode::automatic) const;
 
     /// Type-erased instance for population size n (state-space counting).
     [[nodiscard]] std::unique_ptr<AnyProtocol> make(const std::string& name,
@@ -82,8 +87,9 @@ public:
         static_assert(Protocol<P>, "factory must produce a Protocol");
         Entry entry;
         entry.info = std::move(info);
-        entry.simulate = [factory](std::size_t n, std::uint64_t seed, EngineKind kind) {
-            return ppsim::make_simulation(factory, n, seed, kind);
+        entry.simulate = [factory](std::size_t n, std::uint64_t seed, EngineKind kind,
+                                   BatchMode batch_mode) {
+            return ppsim::make_simulation(factory, n, seed, kind, batch_mode);
         };
         entry.make = [factory](std::size_t n) { return erase_protocol(factory(n)); };
         entries_.push_back(std::move(entry));
@@ -94,10 +100,12 @@ public:
 private:
     struct Entry {
         ProtocolInfo info;
-        /// (n, seed, engine) → ready-to-run Simulation. All election and
-        /// fixed-work runs are built on this one factory; the run/verify
-        /// logic itself lives in core/simulation.hpp (run_to_single_leader).
-        std::function<std::unique_ptr<Simulation>(std::size_t, std::uint64_t, EngineKind)>
+        /// (n, seed, engine, batch mode) → ready-to-run Simulation. All
+        /// election and fixed-work runs are built on this one factory; the
+        /// run/verify logic itself lives in core/simulation.hpp
+        /// (run_to_single_leader).
+        std::function<std::unique_ptr<Simulation>(std::size_t, std::uint64_t, EngineKind,
+                                                  BatchMode)>
             simulate;
         std::function<std::unique_ptr<AnyProtocol>(std::size_t)> make;
     };

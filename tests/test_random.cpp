@@ -248,5 +248,102 @@ TEST(Hypergeometric, IsDeterministicForEqualSeeds) {
     }
 }
 
+// --- multivariate hypergeometric (the contingency-table row sampler) --------
+
+TEST(MultivariateHypergeometric, RowSumsAreExactAndWithinSupport) {
+    Rng gen(31);
+    const std::vector<std::uint64_t> counts = {7, 0, 1000, 3, 250, 1, 64};
+    std::uint64_t pool = 0;
+    for (const std::uint64_t c : counts) pool += c;
+    const std::vector<std::uint64_t> draw_sizes = {0, 1, 2, 8, 100, pool - 1, pool};
+    for (const std::uint64_t draws : draw_sizes) {
+        for (int rep = 0; rep < 500; ++rep) {
+            const auto out = multivariate_hypergeometric(gen, counts, draws);
+            ASSERT_EQ(out.size(), counts.size());
+            std::uint64_t total = 0;
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                ASSERT_LE(out[i], counts[i]) << "colour " << i;
+                total += out[i];
+            }
+            ASSERT_EQ(total, draws);  // row sums exact, never approximate
+        }
+    }
+    // draws == pool must take everything, deterministically.
+    EXPECT_EQ(multivariate_hypergeometric(gen, counts, pool), counts);
+    EXPECT_THROW((void)multivariate_hypergeometric(gen, counts, pool + 1),
+                 InvalidArgument);
+}
+
+TEST(MultivariateHypergeometric, MarginalsMatchTheScalarHypergeometric) {
+    // Each colour's marginal is Hypergeometric(total, counts[i], draws):
+    // bin-by-bin 5σ agreement with the exact pmf, for every colour — the
+    // property that makes the conditional chain an exact sampler.
+    Rng gen(2024);
+    const std::vector<std::uint64_t> counts = {30, 20, 50, 4};
+    const std::uint64_t total = 104;
+    const std::uint64_t draws = 40;
+    const int reps = 200000;
+    std::vector<std::map<std::uint64_t, int>> freq(counts.size());
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto out = multivariate_hypergeometric(gen, counts, draws);
+        for (std::size_t i = 0; i < out.size(); ++i) ++freq[i][out[i]];
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        for (const auto& [value, count] : freq[i]) {
+            const double exact =
+                std::exp(detail::log_choose(counts[i], value) +
+                         detail::log_choose(total - counts[i], draws - value) -
+                         detail::log_choose(total, draws));
+            const double empirical = static_cast<double>(count) / reps;
+            const double sigma = std::sqrt(exact * (1.0 - exact) / reps);
+            EXPECT_NEAR(empirical, exact, 5.0 * sigma + 1e-4)
+                << "colour " << i << ", x = " << value;
+        }
+    }
+}
+
+TEST(MultivariateHypergeometric, SingleDrawIsCategoricallyUniform) {
+    // draws == 1 exercises the generator-free categorical fast path: the
+    // drawn colour must be distributed proportionally to the counts.
+    Rng gen(5);
+    const std::vector<std::uint64_t> counts = {10, 0, 40, 50};
+    const int reps = 100000;
+    std::vector<int> hits(counts.size(), 0);
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto out = multivariate_hypergeometric(gen, counts, 1);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (out[i] == 1) ++hits[i];
+        }
+    }
+    EXPECT_EQ(hits[1], 0);  // empty colour never drawn
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double p = static_cast<double>(counts[i]) / 100.0;
+        const double sigma = std::sqrt(p * (1.0 - p) / reps);
+        EXPECT_NEAR(static_cast<double>(hits[i]) / reps, p, 5.0 * sigma + 1e-4)
+            << "colour " << i;
+    }
+}
+
+TEST(MultivariateHypergeometric, IsDeterministicForEqualSeeds) {
+    const std::vector<std::uint64_t> counts = {100, 300, 7, 0, 2000, 55};
+    Rng a(77);
+    Rng b(77);
+    for (int rep = 0; rep < 2000; ++rep) {
+        ASSERT_EQ(multivariate_hypergeometric(a, counts, 123),
+                  multivariate_hypergeometric(b, counts, 123));
+    }
+}
+
+TEST(MultivariateHypergeometric, PointerFormSupportsAliasing) {
+    // The documented in-place form: counts and out may be the same buffer.
+    Rng a(13);
+    Rng b(13);
+    const std::vector<std::uint64_t> counts = {12, 34, 56, 78};
+    const auto expected = multivariate_hypergeometric(a, counts, 60);
+    std::vector<std::uint64_t> buffer = counts;
+    multivariate_hypergeometric(b, buffer.data(), buffer.size(), 60, buffer.data());
+    EXPECT_EQ(buffer, expected);
+}
+
 }  // namespace
 }  // namespace ppsim

@@ -1,7 +1,10 @@
 // bench_to_json — measures interactions/sec of both simulation back-ends
-// (agent-based Engine vs count-based BatchedEngine) across protocols and
-// population sizes, prints a table, and writes the machine-readable perf
-// trajectory to BENCH_engine.json so future PRs can regress against it.
+// (agent-based Engine vs count-based BatchedEngine) across protocols,
+// population sizes and batch-pairing modes, prints a table, and writes the
+// machine-readable perf trajectory to BENCH_engine.json so future PRs can
+// regress against it. The batched engine is measured once per pairing
+// strategy (pairwise | bulk | auto — see src/core/batch_pairing.hpp), so the
+// JSON carries a `batch_mode` dimension alongside protocol and n.
 //
 //   bench_to_json                         # default grid, writes BENCH_engine.json
 //   bench_to_json --protocols pll --sizes 1048576 --json out.json
@@ -12,6 +15,7 @@
 #include <vector>
 
 #include "core/args.hpp"
+#include "core/batch_pairing.hpp"
 #include "core/engine.hpp"
 #include "core/json.hpp"
 #include "core/table.hpp"
@@ -43,8 +47,8 @@ struct Measurement {
     }
 };
 
-Measurement measure(const std::string& protocol, EngineKind engine, std::size_t n,
-                    StepCount steps_per_run, double min_seconds) {
+Measurement measure(const std::string& protocol, EngineKind engine, BatchMode batch_mode,
+                    std::size_t n, StepCount steps_per_run, double min_seconds) {
     const ProtocolRegistry& registry = ProtocolRegistry::instance();
     Measurement m;
     std::uint64_t seed = 0xBEEF;
@@ -55,13 +59,27 @@ Measurement measure(const std::string& protocol, EngineKind engine, std::size_t 
         // engine construction. Built through the type-erased Simulation
         // layer — the virtual dispatch is per run, not per interaction, so
         // this measures the same hot loops as the templated benches.
-        const auto sim = registry.make_simulation(protocol, n, seed++, engine);
+        const auto sim = registry.make_simulation(protocol, n, seed++, engine, batch_mode);
         const RunResult run = sim->run_for(steps_per_run);
         const auto stop = std::chrono::steady_clock::now();
         m.steps += run.steps;
         m.seconds += std::chrono::duration<double>(stop - start).count();
     }
     return m;
+}
+
+std::string scientific(double value) {
+    std::ostringstream out;
+    out.precision(3);
+    out << std::scientific << value;
+    return out.str();
+}
+
+std::string ratio(double value) {
+    std::ostringstream out;
+    out.precision(1);
+    out << std::fixed << value << "x";
+    return out.str();
 }
 
 int run(const ArgParser& args) {
@@ -79,8 +97,11 @@ int run(const ArgParser& args) {
     table.add_column("protocol", Align::left);
     table.add_column("n");
     table.add_column("agent int/s");
-    table.add_column("batched int/s");
-    table.add_column("speedup");
+    for (const BatchModeDescriptor& d : batch_mode_table) {
+        table.add_column(std::string(d.name) + " int/s");
+    }
+    table.add_column("auto speedup");
+    table.add_column("bulk/pairwise");
 
     JsonValue root = JsonValue::object();
     root.set("library_version", library_version);
@@ -91,31 +112,47 @@ int run(const ArgParser& args) {
         for (const std::size_t n : sizes) {
             const auto steps_per_run = static_cast<StepCount>(
                 parallel_time_cap * static_cast<double>(n));
-            const Measurement agent =
-                measure(protocol, EngineKind::agent, n, steps_per_run, min_seconds);
-            const Measurement batched =
-                measure(protocol, EngineKind::batched, n, steps_per_run, min_seconds);
-            const double speedup =
-                agent.rate() > 0.0 ? batched.rate() / agent.rate() : 0.0;
+            const Measurement agent = measure(protocol, EngineKind::agent,
+                                              BatchMode::automatic, n, steps_per_run,
+                                              min_seconds);
 
-            std::ostringstream agent_rate, batched_rate, ratio;
-            agent_rate.precision(3);
-            agent_rate << std::scientific << agent.rate();
-            batched_rate.precision(3);
-            batched_rate << std::scientific << batched.rate();
-            ratio.precision(1);
-            ratio << std::fixed << speedup << "x";
-            table.add_row({protocol, std::to_string(n), agent_rate.str(),
-                           batched_rate.str(), ratio.str()});
+            JsonValue agent_row = JsonValue::object();
+            agent_row.set("protocol", protocol);
+            agent_row.set("n", static_cast<std::uint64_t>(n));
+            agent_row.set("steps_per_run", steps_per_run);
+            agent_row.set("engine", std::string(to_string(EngineKind::agent)));
+            agent_row.set("interactions_per_sec", agent.rate());
+            rows.push_back(std::move(agent_row));
 
-            JsonValue row = JsonValue::object();
-            row.set("protocol", protocol);
-            row.set("n", static_cast<std::uint64_t>(n));
-            row.set("steps_per_run", steps_per_run);
-            row.set("agent_interactions_per_sec", agent.rate());
-            row.set("batched_interactions_per_sec", batched.rate());
-            row.set("speedup", speedup);
-            rows.push_back(std::move(row));
+            std::vector<std::string> cells = {protocol, std::to_string(n),
+                                              scientific(agent.rate())};
+            double auto_rate = 0.0;
+            double pairwise_rate = 0.0;
+            double bulk_rate = 0.0;
+            for (const BatchModeDescriptor& d : batch_mode_table) {
+                const Measurement batched = measure(protocol, EngineKind::batched, d.mode,
+                                                    n, steps_per_run, min_seconds);
+                const double speedup =
+                    agent.rate() > 0.0 ? batched.rate() / agent.rate() : 0.0;
+                if (d.mode == BatchMode::automatic) auto_rate = batched.rate();
+                if (d.mode == BatchMode::pairwise) pairwise_rate = batched.rate();
+                if (d.mode == BatchMode::bulk) bulk_rate = batched.rate();
+                cells.push_back(scientific(batched.rate()));
+
+                JsonValue row = JsonValue::object();
+                row.set("protocol", protocol);
+                row.set("n", static_cast<std::uint64_t>(n));
+                row.set("steps_per_run", steps_per_run);
+                row.set("engine", std::string(to_string(EngineKind::batched)));
+                row.set("batch_mode", std::string(d.name));
+                row.set("interactions_per_sec", batched.rate());
+                row.set("speedup_vs_agent", speedup);
+                rows.push_back(std::move(row));
+            }
+            cells.push_back(ratio(agent.rate() > 0.0 ? auto_rate / agent.rate() : 0.0));
+            cells.push_back(
+                ratio(pairwise_rate > 0.0 ? bulk_rate / pairwise_rate : 0.0));
+            table.add_row(cells);
         }
     }
     root.set("measurements", std::move(rows));

@@ -27,6 +27,9 @@ ArgParser make_parser() {
     ArgParser args;
     args.declare("protocol", "registry name of the protocol to run", "pll");
     args.declare("engine", "simulation back-end: " + engine_kind_list(), "agent");
+    args.declare("batch-mode",
+                 "batched-engine pairing strategy: " + batch_mode_list(),
+                 std::string(to_string(BatchMode::automatic)));
     args.declare("n", "population size", "1024");
     args.declare("seed", "root PRNG seed", "2019");
     args.declare("reps", "seeded repetitions", "20");
@@ -53,10 +56,10 @@ ArgParser make_parser() {
 /// the series as CSV. Returns false when the recording is unusable (empty
 /// or non-monotone), so the tool exits non-zero and the smoke tests catch it.
 bool write_trajectory(const std::string& protocol, std::size_t n, std::uint64_t seed,
-                      EngineKind engine, StepCount max_steps, StepCount stride,
-                      bool live_states, const std::string& path) {
-    const TrajectoryRun run =
-        record_trajectory(protocol, n, seed, max_steps, stride, engine, live_states);
+                      EngineKind engine, BatchMode batch_mode, StepCount max_steps,
+                      StepCount stride, bool live_states, const std::string& path) {
+    const TrajectoryRun run = record_trajectory(protocol, n, seed, max_steps, stride,
+                                                engine, live_states, batch_mode);
     write_trajectory_csv(path, run.points);
     std::cout << "wrote " << path << " (" << run.points.size() << " samples, engine "
               << to_string(engine) << ", "
@@ -111,12 +114,13 @@ int run(const ArgParser& args) {
     }
 
     const EngineKind engine = parse_engine_kind(args.get_string("engine", "agent"));
+    const BatchMode batch_mode = parse_batch_mode(args.get_string("batch-mode", "auto"));
     const double factor = args.get_double("budget-factor", 3000.0);
 
     if (const std::string path = args.get_string("trajectory", ""); !path.empty()) {
         StepCount stride = args.get_u64("trajectory-every", 0);
         if (stride == 0) stride = std::max<StepCount>(1, n / 4);
-        return write_trajectory(protocol, n, seed, engine,
+        return write_trajectory(protocol, n, seed, engine, batch_mode,
                                 StepBudget::n_log_n(n, factor), stride,
                                 args.get_bool("trajectory-live-states", true), path)
                    ? 0
@@ -126,6 +130,7 @@ int run(const ArgParser& args) {
     SweepConfig config;
     config.protocol = protocol;
     config.engine = engine;
+    config.batch_mode = batch_mode;
     config.sizes = {n};
     config.repetitions = static_cast<std::size_t>(args.get_u64("reps", 20));
     config.seed = seed;
