@@ -35,8 +35,9 @@ struct SweepConfig {
     std::size_t repetitions = 30;   ///< runs per size
     std::uint64_t seed = 0xACE1ULL; ///< root seed; rep i uses derive_seed(seed, i)
     std::size_t threads = 0;        ///< 0 = hardware concurrency
-    /// Simulation back-end: per-interaction agent engine or count-based
-    /// batched engine (same distribution, far faster at large n).
+    /// Simulation back-end: per-interaction agent engine, count-based
+    /// batched engine, or reaction-rate gillespie engine (see README
+    /// "Choosing an engine" for distribution and speed trade-offs).
     EngineKind engine = EngineKind::agent;
     /// Batch-pairing strategy of the batched engine (core/batch_pairing.hpp):
     /// auto (per-batch choice), pairwise shuffle, or bulk contingency-table

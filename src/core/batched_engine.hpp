@@ -62,6 +62,7 @@
 #include "protocol.hpp"
 #include "random.hpp"
 #include "state_index.hpp"
+#include "transition_cache.hpp"
 
 namespace ppsim {
 
@@ -189,80 +190,6 @@ public:
     }
 
 private:
-    /// One memoised transition: output ids plus the leader-count delta and
-    /// whether any output symbol changed (verify_outputs_stable). out_a ==
-    /// invalid_state marks an empty dense-matrix slot.
-    struct CachedTransition {
-        StateId out_a = invalid_state;
-        StateId out_b = invalid_state;
-        std::int8_t leader_delta = 0;
-        bool role_changed = false;
-    };
-
-    static constexpr StateId invalid_state = std::numeric_limits<StateId>::max();
-    /// Transitions between ids below the current dense dimension live in a
-    /// flat matrix (2–3 ns lookups; the hot sub-block is small and cache
-    /// resident); the dimension doubles with the interned state count up to
-    /// this cap, beyond which an open-addressing table takes over.
-    static constexpr StateId dense_cap = 1024;
-
-    /// Minimal open-addressing hash table for transitions between high ids
-    /// (protocols with thousands of live states, e.g. PLL's timer×colour
-    /// product). Linear probing over a power-of-two slot array: one cache
-    /// line per hit in the common case, vs. two-plus for unordered_map.
-    class FlatTransitionMap {
-    public:
-        [[nodiscard]] CachedTransition* find(std::uint64_t key) noexcept {
-            if (slots_.empty()) return nullptr;
-            for (std::size_t i = mix(key) & mask_;; i = (i + 1) & mask_) {
-                Slot& slot = slots_[i];
-                if (slot.value.out_a == invalid_state) return nullptr;
-                if (slot.key == key) return &slot.value;
-            }
-        }
-
-        CachedTransition* insert(std::uint64_t key, const CachedTransition& value) {
-            if (slots_.empty()) rehash(1024);
-            if ((size_ + 1) * 10 > slots_.size() * 7) rehash(slots_.size() * 2);
-            for (std::size_t i = mix(key) & mask_;; i = (i + 1) & mask_) {
-                Slot& slot = slots_[i];
-                if (slot.value.out_a == invalid_state) {
-                    slot.key = key;
-                    slot.value = value;
-                    ++size_;
-                    return &slot.value;
-                }
-            }
-        }
-
-    private:
-        struct Slot {
-            std::uint64_t key = 0;
-            CachedTransition value;  // out_a == invalid_state marks empty
-        };
-
-        [[nodiscard]] static std::uint64_t mix(std::uint64_t key) noexcept {
-            key ^= key >> 33U;
-            key *= 0xff51afd7ed558ccdULL;
-            key ^= key >> 33U;
-            return key;
-        }
-
-        void rehash(std::size_t capacity) {
-            std::vector<Slot> old = std::move(slots_);
-            slots_.assign(capacity, Slot{});
-            mask_ = capacity - 1;
-            size_ = 0;
-            for (const Slot& slot : old) {
-                if (slot.value.out_a != invalid_state) insert(slot.key, slot.value);
-            }
-        }
-
-        std::vector<Slot> slots_;
-        std::size_t mask_ = 0;
-        std::size_t size_ = 0;
-    };
-
     // --- interning --------------------------------------------------------
 
     StateId intern(const State& s) {
@@ -282,50 +209,16 @@ private:
         }
     }
 
+    /// Memoised transition lookup through the shared cache
+    /// (transition_cache.hpp).
     const CachedTransition& transition(StateId a, StateId b) {
-        if (a < dense_dim_ && b < dense_dim_) {
-            CachedTransition& slot = dense_cache_[a * dense_dim_ + b];
-            if (slot.out_a == invalid_state) slot = compute_transition(a, b);
-            return slot;
-        }
-        if (a < dense_cap && b < dense_cap) {
-            grow_dense(std::max(a, b));
-            CachedTransition& slot = dense_cache_[a * dense_dim_ + b];
-            if (slot.out_a == invalid_state) slot = compute_transition(a, b);
-            return slot;
-        }
-        const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32U) | b;
-        if (CachedTransition* hit = overflow_cache_.find(key)) return *hit;
-        return *overflow_cache_.insert(key, compute_transition(a, b));
+        return cache_.get(a, b,
+                          [this](StateId x, StateId y) { return compute_transition(x, y); });
     }
 
     CachedTransition compute_transition(StateId a, StateId b) {
-        State sa = index_.state(a);  // copies: intern() may reallocate
-        State sb = index_.state(b);
-        const Role role_a = index_.role(a);
-        const Role role_b = index_.role(b);
-        const int before = static_cast<int>(role_a == Role::leader) +
-                           static_cast<int>(role_b == Role::leader);
-        protocol_.interact(sa, sb);
-        CachedTransition tr;
-        tr.out_a = intern(sa);
-        tr.out_b = intern(sb);
-        const int after = static_cast<int>(index_.is_leader(tr.out_a)) +
-                          static_cast<int>(index_.is_leader(tr.out_b));
-        tr.leader_delta = static_cast<std::int8_t>(after - before);
-        tr.role_changed =
-            index_.role(tr.out_a) != role_a || index_.role(tr.out_b) != role_b;
-        return tr;
-    }
-
-    /// Doubles the dense matrix dimension to cover id `needed` (< dense_cap).
-    /// Cached entries are dropped and lazily recomputed — growth happens a
-    /// handful of times per engine lifetime.
-    void grow_dense(StateId needed) {
-        StateId dim = dense_dim_ == 0 ? 64 : dense_dim_;
-        while (dim <= needed) dim *= 2;
-        dense_dim_ = dim;
-        dense_cache_.assign(static_cast<std::size_t>(dim) * dim, CachedTransition{});
+        return compute_cached_transition(protocol_, index_, a, b,
+                                         [this](const State& s) { return intern(s); });
     }
 
     // --- batch round ------------------------------------------------------
@@ -433,24 +326,17 @@ private:
     }
 
     /// The batch's pairs are exchangeable — contingency cells no less than
-    /// shuffled pairs — so conditioned on the multiset their order is a
-    /// uniform permutation: shuffle the per-pair leader deltas and scan for
-    /// the first prefix reaching exactly one leader. Called at most once per
-    /// run (single-leader is absorbing).
+    /// shuffled pairs — so the shared replay (`locate_leader_crossing`,
+    /// transition_cache.hpp) localises the crossing from their expanded
+    /// leader deltas. Called at most once per run (single-leader is
+    /// absorbing).
     [[nodiscard]] std::uint64_t crossing_offset() {
         scratch_deltas_.clear();
         pairs_.for_each([&](StateId a, StateId b, std::uint64_t mult) {
             scratch_deltas_.insert(scratch_deltas_.end(), mult,
                                    transition(a, b).leader_delta);
         });
-        shuffle_vector(scratch_deltas_, rng_);
-        std::int64_t running = static_cast<std::int64_t>(leader_count_);
-        for (std::uint64_t i = 0; i < scratch_deltas_.size(); ++i) {
-            running += scratch_deltas_[i];
-            if (running == 1) return i + 1;
-        }
-        ensure(false, "leader-count crossing not found within the batch");
-        return scratch_deltas_.size();
+        return locate_leader_crossing(scratch_deltas_, rng_, leader_count_);
     }
 
     /// The interaction that ends the batch: at least one participant is an
@@ -553,9 +439,7 @@ private:
     std::vector<std::uint8_t> in_live_;   ///< membership flags for live_ids_
     std::uint64_t touched_total_ = 0;
     std::uint64_t untouched_ = 0;
-    StateId dense_dim_ = 0;
-    std::vector<CachedTransition> dense_cache_;
-    FlatTransitionMap overflow_cache_;
+    TransitionCache cache_;
     BatchMode batch_mode_ = BatchMode::automatic;
     StateMultiset initiators_;
     StateMultiset responders_;

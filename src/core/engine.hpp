@@ -36,9 +36,14 @@ namespace ppsim {
 /// absorbing (every election protocol here except the loosely-stabilising
 /// baseline, whose transient one-leader visits the batched engine only
 /// observes at batch granularity) and orders of magnitude faster at large n.
+/// `gillespie` is the reaction-rate GillespieEngine<P>: exact SSA over
+/// non-null reaction channels (geometric null-reaction skipping) with a
+/// τ-leaping fast path at large n — exact below its leap threshold,
+/// approximate (statistically validated) above it.
 enum class EngineKind : std::uint8_t {
     agent = 0,
     batched = 1,
+    gillespie = 2,
 };
 
 /// One row of the engine table: the kind, its registry/CLI name, and a
@@ -52,10 +57,12 @@ struct EngineDescriptor {
 /// The single source of truth for the engine list. `to_string`,
 /// `parse_engine_kind` and every CLI help string derive from this table, so
 /// adding a third engine is a one-row change that cannot desync them.
-inline constexpr std::array<EngineDescriptor, 2> engine_table{{
+inline constexpr std::array<EngineDescriptor, 3> engine_table{{
     {EngineKind::agent, "agent", "exact per-interaction simulation of every agent"},
     {EngineKind::batched, "batched",
      "count-based batch simulation, sub-constant time per interaction at large n"},
+    {EngineKind::gillespie, "gillespie",
+     "reaction-rate SSA with null-reaction skipping and tau-leaping at large n"},
 }};
 
 /// Registry/CLI name of an engine kind.
@@ -66,7 +73,8 @@ inline constexpr std::array<EngineDescriptor, 2> engine_table{{
     return "unknown";
 }
 
-/// The engine names joined as "agent | batched", for usage strings.
+/// The engine names joined as "agent | batched | gillespie", for usage
+/// strings.
 [[nodiscard]] inline std::string engine_kind_list(std::string_view separator = " | ") {
     std::string out;
     for (const EngineDescriptor& d : engine_table) {

@@ -1,0 +1,587 @@
+/// \file gillespie_engine.hpp
+/// \brief Reaction-rate simulation engine: the population protocol viewed as
+/// a chemical reaction network, simulated by Gillespie's stochastic
+/// simulation algorithm (SSA) over reaction channels with a τ-leaping fast
+/// path.
+///
+/// The discrete scheduler picks a uniformly random ordered pair of agents
+/// per step, so conditioned on the per-state counts the *channel* — the
+/// ordered (initiator-state, responder-state) pair — of step t is
+/// categorical with weight c_a·(c_b − [a = b]) out of n(n−1). Channels whose
+/// transition is the identity ("null reactions") leave the configuration
+/// unchanged, which is what the two execution paths exploit:
+///
+///  * **Exact SSA.** The number of steps until the next *non-null* firing is
+///    geometric with success probability W_nonnull / n(n−1), where W_nonnull
+///    sums the non-null channel weights. One geometric draw skips every null
+///    step at once, then one categorical draw over the non-null channels
+///    picks the reaction — the embedded-jump-chain form of Gillespie's
+///    direct method, exact in distribution for the step-indexed chain (the
+///    analogue of exponential waiting times in continuous time). Channel
+///    enumeration is O(d²) per event (d = live states) and is used while
+///    d ≤ `channel_state_cap`; wider configurations at small n fall back to
+///    an exact per-step categorical sampler (O(d) per step, still the exact
+///    chain — it just cannot skip nulls).
+///
+///  * **τ-leaping.** At large n the engine freezes the per-state counts for
+///    a leap of L = n/`leap_divisor` steps and spreads the L interactions
+///    over the states at once: initiator and responder multisets are
+///    multinomial draws over the counts (conditional chains of `binomial`
+///    draws — the with-replacement sibling of the batched engine's
+///    hypergeometric chains), paired through the pluggable batch-pairing
+///    layer (batch_pairing.hpp) and applied through the shared memoised
+///    transition cache with per-cell multiplicities. Unlike the batched
+///    engine, a leap is NOT bounded by the birthday-problem collision-free
+///    run (Θ(√n)): the per-leap O(#live states + #cells) overheads amortise
+///    over Θ(n) steps, which is what wins on wide-state protocols where
+///    those overheads bound the batched engine. The price is the standard
+///    τ-leaping approximation: propensities are frozen within a leap
+///    (relative drift ≤ ~1/leap_divisor per state per leap), sampling is
+///    with replacement (a state can be over-drawn past its count; excess
+///    pairs are dropped as nulls, counted in `dropped_pairs()`), and the
+///    initiator/responder draws ignore the same-agent exclusion (O(1/n)
+///    per pair). Statistical agreement with the exact engines is enforced
+///    by the KS harness in tests/test_statistical.cpp.
+///
+/// The paths compose automatically: leaping needs n ≥ `leap_min_population`
+/// (below that the engine is *exact* — the configuration is one of the two
+/// SSA forms), and when the enumerated channels show fewer than
+/// `ssa_event_threshold` expected non-null firings per leap the engine drops
+/// back to exact SSA — near stabilisation of annihilation-style protocols
+/// (angluin06's last few leaders) one geometric draw then jumps millions of
+/// null steps at once, which is both exact and far faster than leaping.
+///
+/// Stabilisation steps are recorded exactly on the SSA paths by
+/// construction; a leap that crosses to a single leader is localised by
+/// replaying the leap's per-pair leader deltas in a uniformly shuffled
+/// order, exactly as the batched engine replays its batches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "batch_pairing.hpp"
+#include "common.hpp"
+#include "engine.hpp"  // RunResult
+#include "protocol.hpp"
+#include "random.hpp"
+#include "state_index.hpp"
+#include "transition_cache.hpp"
+
+namespace ppsim {
+
+/// Reaction-rate (Gillespie SSA + τ-leaping) simulation engine. Drop-in
+/// alternative to Engine<P> / BatchedEngine<P> for the run/verify surface
+/// (run_until_one_leader, run_for, verify_outputs_stable, RunResult), minus
+/// per-agent observation — like the batched engine it works on counts.
+template <typename P>
+    requires InternableProtocol<P>
+class GillespieEngine {
+public:
+    using State = typename P::State;
+
+    /// Population floor for the τ-leaping path; below it every step is
+    /// simulated by an exact SSA form, which is what the cross-engine KS
+    /// harness relies on at small n.
+    static constexpr std::size_t leap_min_population = 4096;
+    /// Live-state cap for per-event channel enumeration (O(d²) per event).
+    static constexpr std::size_t channel_state_cap = 32;
+    /// Leap length as a fraction of n: L = max(1, n / leap_divisor), the
+    /// τ-selection bound — each state's expected relative drift per leap is
+    /// at most ~2/leap_divisor. 64 keeps the per-leap drift below ~3%, the
+    /// level at which the KS agreement harness (tests/test_statistical.cpp)
+    /// cannot distinguish leaped from exact runs, while leaps stay 1–2
+    /// orders of magnitude longer than the batched engine's Θ(√n) batches.
+    static constexpr std::uint64_t leap_divisor = 64;
+    /// Expected non-null firings per leap below which exact SSA (geometric
+    /// null-skipping) replaces leaping — the near-stabilisation fallback.
+    static constexpr double ssa_event_threshold = 4.0;
+    /// Steps per round of the exact per-step categorical form (wide d at
+    /// small n), so callers regain control at a bounded cadence.
+    static constexpr StepCount categorical_chunk = 4096;
+
+    GillespieEngine(P protocol, std::size_t n, std::uint64_t seed)
+        : protocol_(std::move(protocol)), n_(n), rng_(seed) {
+        require(n >= 2, "population must contain at least two agents");
+        // Channel weights c_a·c_b are computed in 64 bits; n ≤ 2^32 keeps
+        // them (and their sum, ≤ n(n−1)) below 2^64, matching the agent-id
+        // ceiling of the rest of the library.
+        require(n <= (std::uint64_t{1} << 32U),
+                "gillespie engine supports populations up to 2^32 agents");
+        const StateId init = intern(protocol_.initial_state());
+        counts_[init] = n_;
+        make_live(init);
+        leader_count_ = index_.is_leader(init) ? n_ : 0;
+        initiators_.reserve(64);
+        responders_.reserve(64);
+        pairs_.cells.reserve(64);
+        touched_ids_.reserve(64);
+        channels_.reserve(64);
+    }
+
+    // --- observation ------------------------------------------------------
+
+    [[nodiscard]] std::size_t population_size() const noexcept { return n_; }
+    [[nodiscard]] StepCount steps() const noexcept { return steps_; }
+    [[nodiscard]] double parallel_time() const noexcept {
+        return to_parallel_time(steps_, n_);
+    }
+    [[nodiscard]] std::size_t leader_count() const noexcept { return leader_count_; }
+    [[nodiscard]] const P& protocol() const noexcept { return protocol_; }
+    [[nodiscard]] std::optional<StepCount> stabilization_step() const noexcept {
+        return first_single_leader_step_;
+    }
+
+    /// Exact count of agents currently in state `s` (0 when never interned).
+    [[nodiscard]] std::uint64_t count_of(const State& s) const {
+        const std::optional<StateId> id = index_.find(state_key_of(protocol_, s));
+        return id ? counts_[*id] : 0;
+    }
+
+    /// Number of distinct states with a non-zero count.
+    [[nodiscard]] std::size_t live_state_count() const noexcept {
+        std::size_t live = 0;
+        for (const std::uint64_t c : counts_) live += c != 0 ? 1 : 0;
+        return live;
+    }
+
+    /// Sum of all counts — the population size, by conservation.
+    [[nodiscard]] std::uint64_t total_count() const noexcept {
+        std::uint64_t total = 0;
+        for (const std::uint64_t c : counts_) total += c;
+        return total;
+    }
+
+    /// τ-leaps executed so far (introspection for tests and benches).
+    [[nodiscard]] std::uint64_t leaps_taken() const noexcept { return leaps_; }
+    /// Exact SSA firings executed so far (both enumerated and categorical).
+    [[nodiscard]] std::uint64_t exact_events() const noexcept { return exact_events_; }
+    /// Over-drawn pairs dropped by τ-leap clamping — the engine's measure of
+    /// its own leaping error (0 whenever the engine never leaped).
+    [[nodiscard]] std::uint64_t dropped_pairs() const noexcept { return dropped_pairs_; }
+
+    /// Visits every state with a non-zero count as (state, count, role) —
+    /// O(#states) regardless of n; only valid between public calls.
+    template <typename Visitor>
+    void visit_counts(Visitor&& visit) const {
+        for (StateId id = 0; id < counts_.size(); ++id) {
+            if (counts_[id] != 0) {
+                visit(index_.state(id), counts_[id], index_.role(id));
+            }
+        }
+    }
+
+    /// Recomputes the leader count from the count vector (tests / checks).
+    std::size_t recount_leaders() {
+        std::uint64_t leaders = 0;
+        for (StateId id = 0; id < counts_.size(); ++id) {
+            if (index_.is_leader(id)) leaders += counts_[id];
+        }
+        leader_count_ = leaders;
+        return leader_count_;
+    }
+
+    // --- execution --------------------------------------------------------
+
+    /// Runs until exactly one leader remains or `max_steps` further steps
+    /// have been executed, whichever comes first. A final τ-leap may run a
+    /// few interactions past the stabilisation step (harmless for absorbing
+    /// predicates); `stabilization_step` is exact.
+    RunResult run_until_one_leader(StepCount max_steps) {
+        StepCount executed = 0;
+        while (leader_count_ != 1 && executed < max_steps) {
+            executed += round(max_steps - executed, /*stop_at_single_leader=*/true);
+        }
+        return make_result(leader_count_ == 1);
+    }
+
+    /// Runs exactly `count` steps: every path clamps to the remaining
+    /// budget, so there is no overrun.
+    RunResult run_for(StepCount count) {
+        StepCount executed = 0;
+        while (executed < count) {
+            executed += round(count - executed, /*stop_at_single_leader=*/false);
+        }
+        return make_result(leader_count_ == 1);
+    }
+
+    /// Runs `count` additional steps and reports whether any agent's output
+    /// changed during them (and the leader count stayed put). Null reactions
+    /// never change outputs, so the geometric skips are free here too.
+    [[nodiscard]] bool verify_outputs_stable(StepCount count) {
+        const std::size_t leaders_before = leader_count_;
+        role_change_seen_ = false;
+        StepCount executed = 0;
+        while (executed < count) {
+            executed += round(count - executed, /*stop_at_single_leader=*/false);
+        }
+        return !role_change_seen_ && leader_count_ == leaders_before;
+    }
+
+private:
+    /// One non-null reaction channel: the ordered state pair and its current
+    /// propensity weight c_a·(c_b − [a = b]). The transition itself is
+    /// re-read from the cache at firing time (the cache may reallocate).
+    struct Channel {
+        StateId a;
+        StateId b;
+        std::uint64_t weight;
+    };
+
+    // --- interning --------------------------------------------------------
+
+    StateId intern(const State& s) {
+        const StateId id = index_.intern(protocol_, s);
+        if (index_.size() > counts_.size()) {
+            counts_.resize(index_.size(), 0);
+            touched_.resize(index_.size(), 0);
+            in_live_.resize(index_.size(), 0);
+        }
+        return id;
+    }
+
+    void make_live(StateId id) {
+        if (in_live_[id] == 0) {
+            in_live_[id] = 1;
+            live_ids_.push_back(id);
+        }
+    }
+
+    /// Drops dead ids from the live list (legal between rounds only).
+    void compact_live() {
+        std::size_t i = 0;
+        while (i < live_ids_.size()) {
+            const StateId id = live_ids_[i];
+            if (counts_[id] == 0) {
+                in_live_[id] = 0;
+                live_ids_[i] = live_ids_.back();
+                live_ids_.pop_back();
+                continue;  // revisit index i (swapped-in id)
+            }
+            ++i;
+        }
+    }
+
+    /// Memoised transition lookup through the shared cache
+    /// (transition_cache.hpp).
+    const CachedTransition& transition(StateId a, StateId b) {
+        return cache_.get(a, b,
+                          [this](StateId x, StateId y) { return compute_transition(x, y); });
+    }
+
+    CachedTransition compute_transition(StateId a, StateId b) {
+        return compute_cached_transition(protocol_, index_, a, b,
+                                         [this](const State& s) { return intern(s); });
+    }
+
+    // --- round dispatch ---------------------------------------------------
+
+    /// Executes one round of at most `budget` steps on the path the current
+    /// configuration calls for; returns the number executed (≥ 1 for
+    /// budget ≥ 1).
+    StepCount round(StepCount budget, bool stop_at_single_leader) {
+        if (budget == 0) return 0;
+        compact_live();
+        const std::size_t d = live_ids_.size();
+        const StepCount leap_len =
+            std::min<StepCount>(budget, std::max<std::uint64_t>(1, n_ / leap_divisor));
+        if (d <= channel_state_cap) {
+            build_channels();
+            if (w_nonnull_ == 0) {  // dead configuration: every channel null
+                steps_ += budget;
+                return budget;
+            }
+            if (n_ >= leap_min_population && expected_firings(leap_len) >= ssa_event_threshold) {
+                return leap_round(leap_len);
+            }
+            return enumerated_ssa_event(budget);
+        }
+        if (n_ >= leap_min_population) return leap_round(leap_len);
+        return categorical_steps(std::min(budget, categorical_chunk),
+                                 stop_at_single_leader);
+    }
+
+    /// Expected non-null firings over a leap of `len` steps under the
+    /// enumerated channel weights.
+    [[nodiscard]] double expected_firings(StepCount len) const noexcept {
+        const double w_total =
+            static_cast<double>(n_) * (static_cast<double>(n_) - 1.0);
+        return static_cast<double>(len) * static_cast<double>(w_nonnull_) / w_total;
+    }
+
+    // --- exact SSA, enumerated channels -----------------------------------
+
+    /// Rebuilds the non-null channel list and its total weight from the live
+    /// counts. O(d²) cache lookups; only entered while d ≤ channel_state_cap.
+    void build_channels() {
+        channels_.clear();
+        w_nonnull_ = 0;
+        for (const StateId a : live_ids_) {
+            const std::uint64_t ca = counts_[a];
+            for (const StateId b : live_ids_) {
+                const std::uint64_t weight = a == b ? ca * (ca - 1) : ca * counts_[b];
+                if (weight == 0) continue;
+                const CachedTransition& tr = transition(a, b);
+                if (tr.out_a == a && tr.out_b == b) continue;  // null reaction
+                channels_.push_back(Channel{a, b, weight});
+                w_nonnull_ += weight;
+            }
+        }
+    }
+
+    /// One exact SSA event: a geometric draw skips every null step up to the
+    /// next non-null firing; if that firing lies beyond the budget the round
+    /// consumes the budget as nulls (exact: geometric memorylessness).
+    StepCount enumerated_ssa_event(StepCount budget) {
+        const double w_total =
+            static_cast<double>(n_) * (static_cast<double>(n_) - 1.0);
+        const double p = static_cast<double>(w_nonnull_) / w_total;
+        const StepCount gap = geometric(rng_, p);
+        if (gap > budget) {  // the next reaction lies beyond this round
+            steps_ += budget;
+            return budget;
+        }
+        steps_ += gap;
+        std::uint64_t r = uniform_below(rng_, w_nonnull_);
+        const Channel* fired = nullptr;
+        for (const Channel& ch : channels_) {
+            if (r < ch.weight) {
+                fired = &ch;
+                break;
+            }
+            r -= ch.weight;
+        }
+        if (fired == nullptr) [[unlikely]] {
+            ensure(false, "SSA channel draw ran past the total weight");
+        }
+        const StateId a = fired->a;
+        const StateId b = fired->b;
+        const CachedTransition tr = transition(a, b);  // copy: cache may grow
+        apply_single(a, b, tr);
+        ++exact_events_;
+        return gap;
+    }
+
+    // --- exact SSA, per-step categorical (wide d at small n) ---------------
+
+    /// Exact per-step form for configurations too wide to enumerate: the
+    /// initiator is a categorical draw over the counts, the responder over
+    /// the remaining n−1 agents. O(d) per step; cannot skip nulls.
+    StepCount categorical_steps(StepCount chunk, bool stop_at_single_leader) {
+        StepCount executed = 0;
+        while (executed < chunk) {
+            const StateId a = draw_categorical(uniform_below(rng_, n_), invalid_state_id);
+            const StateId b = draw_categorical(uniform_below(rng_, n_ - 1), a);
+            const CachedTransition tr = transition(a, b);  // copy: cache may grow
+            ++steps_;
+            ++executed;
+            if (tr.out_a != a || tr.out_b != b) {
+                apply_single(a, b, tr);
+                ++exact_events_;
+                if (stop_at_single_leader && leader_count_ == 1) break;
+            }
+        }
+        return executed;
+    }
+
+    /// Walks the live counts to locate the state owning offset `r`, with one
+    /// agent of `exclude` removed from the mass (the already-picked
+    /// initiator; pass invalid_state_id to draw over the full population).
+    [[nodiscard]] StateId draw_categorical(std::uint64_t r, StateId exclude) const {
+        for (const StateId id : live_ids_) {
+            const std::uint64_t c = counts_[id] - (id == exclude ? 1 : 0);
+            if (r < c) return id;
+            r -= c;
+        }
+        ensure(false, "categorical state draw ran past the population");
+        return 0;
+    }
+
+    /// Applies one firing of channel (a, b) through its already-fetched
+    /// transition: counts, leader count, role tracking and exact
+    /// stabilisation-step recording. Callers guarantee availability (the
+    /// channel weight was positive).
+    void apply_single(StateId a, StateId b, const CachedTransition& tr) {
+        --counts_[a];
+        --counts_[b];
+        ++counts_[tr.out_a];
+        ++counts_[tr.out_b];
+        make_live(tr.out_a);
+        make_live(tr.out_b);
+        role_change_seen_ = role_change_seen_ || tr.role_changed;
+        leader_count_ = static_cast<std::size_t>(
+            static_cast<std::int64_t>(leader_count_) + tr.leader_delta);
+        if (!first_single_leader_step_ && leader_count_ == 1) {
+            first_single_leader_step_ = steps_;
+        }
+    }
+
+    // --- τ-leaping ---------------------------------------------------------
+
+    /// Advances `len` steps with propensities frozen at the current counts:
+    /// multinomial initiator/responder multisets, a uniform pairing through
+    /// the batch-pairing layer, and clamped per-cell application.
+    StepCount leap_round(StepCount len) {
+        const StepCount steps_before = steps_;
+        sample_leap_multiset(len, initiators_);
+        sample_leap_multiset(len, responders_);
+        sample_batch_pairing(BatchMode::automatic, rng_, initiators_, responders_, len,
+                             pairs_);
+
+        applied_mult_.clear();
+        std::int64_t delta_total = 0;
+        bool role_changed = false;
+        std::uint64_t dropped = 0;
+        pairs_.for_each([&](StateId a, StateId b, std::uint64_t mult) {
+            // Clamp to what the running counts can supply: with-replacement
+            // sampling may over-draw a state past its count; the excess
+            // pairs are dropped as nulls (counted, and rare by the leap
+            // bound — states with counts ≫ n/leap_divisor never clamp).
+            const std::uint64_t avail =
+                a == b ? counts_[a] / 2 : std::min(counts_[a], counts_[b]);
+            const std::uint64_t m = std::min(mult, avail);
+            applied_mult_.push_back(static_cast<std::uint32_t>(m));
+            dropped += mult - m;
+            if (m == 0) return;
+            const CachedTransition tr = transition(a, b);  // copy: cache may grow
+            if (a == b) {
+                counts_[a] -= 2 * m;
+            } else {
+                counts_[a] -= m;
+                counts_[b] -= m;
+            }
+            touch(tr.out_a, m);
+            touch(tr.out_b, m);
+            delta_total += static_cast<std::int64_t>(tr.leader_delta) *
+                           static_cast<std::int64_t>(m);
+            role_changed |= tr.role_changed;
+        });
+        steps_ += len;
+        dropped_pairs_ += dropped;
+        role_change_seen_ = role_change_seen_ || role_changed;
+        const auto post = static_cast<std::size_t>(
+            static_cast<std::int64_t>(leader_count_) + delta_total);
+        if (!first_single_leader_step_ && post == 1 && leader_count_ != 1) {
+            first_single_leader_step_ = steps_before + leap_crossing_offset();
+        }
+        leader_count_ = post;
+        merge_touched();
+        ++leaps_;
+        return len;
+    }
+
+    /// Draws a with-replacement multiset of `len` step slots over the live
+    /// counts (multinomial conditional chain of binomial draws) into `out`.
+    /// Sparse specialisation of `multinomial` (random.hpp): that primitive
+    /// is the dense reference form whose distribution tests pin the chain
+    /// math; this loop fuses sparse emission and the live-list walk a dense
+    /// out-array cannot express. Mirror changes across both chains.
+    void sample_leap_multiset(std::uint64_t len, StateMultiset& out) {
+        out.clear();
+        std::uint64_t pool = n_;
+        std::uint64_t remaining = len;
+        for (const StateId id : live_ids_) {
+            const std::uint64_t c = counts_[id];
+            if (c == 0) continue;
+            if (remaining == 0) break;
+            const std::uint64_t x =
+                c == pool ? remaining : binomial(rng_, remaining, c, pool);
+            pool -= c;
+            if (x > 0) {
+                out.emplace_back(id, x);
+                remaining -= x;
+            }
+        }
+        if (remaining != 0) [[unlikely]] {  // cheap check: no string temporary
+            ensure(false, "multinomial chain under-drew the leap multiset");
+        }
+    }
+
+    /// Locates the crossing interaction inside a leap that reached a single
+    /// leader via the shared exchangeability replay (`locate_leader_crossing`,
+    /// transition_cache.hpp): applied pairs contribute their leader deltas,
+    /// dropped pairs zeros. Called at most once per run.
+    [[nodiscard]] std::uint64_t leap_crossing_offset() {
+        scratch_deltas_.clear();
+        std::size_t group = 0;
+        pairs_.for_each([&](StateId a, StateId b, std::uint64_t mult) {
+            const std::uint64_t m = applied_mult_[group++];
+            scratch_deltas_.insert(scratch_deltas_.end(), m,
+                                   transition(a, b).leader_delta);
+            scratch_deltas_.insert(scratch_deltas_.end(), mult - m, 0);
+        });
+        return locate_leader_crossing(scratch_deltas_, rng_, leader_count_);
+    }
+
+    // --- pending-output bookkeeping ----------------------------------------
+
+    /// Outputs produced within a leap accumulate in a side buffer so they
+    /// are never re-consumed by later cells of the same leap (they were not
+    /// part of the frozen pre-leap counts).
+    void touch(StateId id, std::uint64_t mult) {
+        if (touched_[id] == 0) touched_ids_.push_back(id);
+        touched_[id] += mult;
+    }
+
+    /// Folds the leap's outputs back into the global count vector.
+    void merge_touched() {
+        for (const StateId id : touched_ids_) {
+            counts_[id] += touched_[id];
+            touched_[id] = 0;
+            make_live(id);
+        }
+        touched_ids_.clear();
+    }
+
+    [[nodiscard]] RunResult make_result(bool converged) const noexcept {
+        RunResult r;
+        r.converged = converged;
+        r.steps = steps_;
+        r.parallel_time = to_parallel_time(steps_, n_);
+        r.leader_count = leader_count_;
+        r.stabilization_step = first_single_leader_step_;
+        return r;
+    }
+
+    P protocol_;
+    std::size_t n_;
+    Rng rng_;
+    StateIndex<P> index_;
+    std::vector<std::uint64_t> counts_;   ///< agents per state id
+    std::vector<std::uint64_t> touched_;  ///< in-flight leap outputs per state id
+    std::vector<StateId> touched_ids_;    ///< ids with touched_[id] > 0
+    std::vector<StateId> live_ids_;       ///< ids that may have counts_[id] > 0
+    std::vector<std::uint8_t> in_live_;   ///< membership flags for live_ids_
+    TransitionCache cache_;
+    std::vector<Channel> channels_;       ///< non-null channels (rebuilt per SSA event)
+    std::uint64_t w_nonnull_ = 0;         ///< Σ weights of channels_
+    StateMultiset initiators_;
+    StateMultiset responders_;
+    BatchPairs pairs_;
+    std::vector<std::uint32_t> applied_mult_;  ///< per-cell applied multiplicity
+    std::vector<std::int8_t> scratch_deltas_;
+    StepCount steps_ = 0;
+    std::size_t leader_count_ = 0;
+    std::optional<StepCount> first_single_leader_step_;
+    bool role_change_seen_ = false;
+    std::uint64_t leaps_ = 0;
+    std::uint64_t exact_events_ = 0;
+    std::uint64_t dropped_pairs_ = 0;
+};
+
+/// Convenience mirror of simulate_to_single_leader for the Gillespie engine.
+template <typename P>
+    requires InternableProtocol<P>
+[[nodiscard]] RunResult gillespie_simulate_to_single_leader(P proto, std::size_t n,
+                                                            std::uint64_t seed,
+                                                            StepCount max_steps) {
+    GillespieEngine<P> engine(std::move(proto), n, seed);
+    return engine.run_until_one_leader(max_steps);
+}
+
+}  // namespace ppsim

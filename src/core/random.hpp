@@ -317,7 +317,201 @@ template <typename Generator>
     return z;
 }
 
+/// Inversion from the mode for the binomial distribution (same zig-zag
+/// chop-down as hypergeometric_inversion): expected work O(standard
+/// deviation), tiny constants. Routed to when the distribution is narrow.
+template <typename Generator>
+[[nodiscard]] std::uint64_t binomial_inversion(Generator& gen, std::uint64_t trials,
+                                               double p) {
+    const double n = static_cast<double>(trials);
+    const double log_p = std::log(p);
+    const double log_q = std::log1p(-p);
+
+    auto mode = static_cast<std::uint64_t>((n + 1.0) * p);
+    mode = std::min(mode, trials);
+
+    const double log_pm = log_choose(trials, mode) + static_cast<double>(mode) * log_p +
+                          static_cast<double>(trials - mode) * log_q;
+    const double pm = std::exp(log_pm);
+
+    double u = uniform_unit(gen) - pm;
+    if (u <= 0.0) return mode;
+
+    // Walk outward from the mode, alternating sides, subtracting pmf mass
+    // until the uniform draw is exhausted. Recurrences give p(x±1) from p(x).
+    const double odds = p / (1.0 - p);
+    double p_up = pm;
+    double p_dn = pm;
+    std::uint64_t x_up = mode;
+    std::uint64_t x_dn = mode;
+    while (true) {
+        bool stepped = false;
+        if (x_up < trials) {
+            const double x = static_cast<double>(x_up);
+            p_up *= (n - x) / (x + 1.0) * odds;
+            ++x_up;
+            u -= p_up;
+            if (u <= 0.0) return x_up;
+            stepped = true;
+        }
+        if (x_dn > 0) {
+            const double x = static_cast<double>(x_dn);
+            p_dn *= x / ((n - x + 1.0) * odds);
+            --x_dn;
+            u -= p_dn;
+            if (u <= 0.0) return x_dn;
+            stepped = true;
+        }
+        // Floating-point residue after consuming the whole support: the
+        // remaining mass is below double precision; return the mode.
+        if (!stepped) return mode;
+    }
+}
+
+/// Transformed-rejection binomial sampler (Hörmann's BTRS, the algorithm
+/// behind NumPy's and TensorFlow's wide-regime binomial): O(1) expected PRNG
+/// draws and log-factorial evaluations independent of the parameters, with a
+/// box squeeze that accepts most candidates without evaluating the exact
+/// pmf. Requires p ≤ 0.5 and trials·p ≥ 10 (callers reflect / route).
+template <typename Generator>
+[[nodiscard]] std::uint64_t binomial_btrs(Generator& gen, std::uint64_t trials, double p) {
+    const double n = static_cast<double>(trials);
+    const double q = 1.0 - p;
+    const double spq = std::sqrt(n * p * q);
+
+    const double b = 1.15 + 2.53 * spq;
+    const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+    const double c = n * p + 0.5;
+    const double vr = 0.92 - 4.2 / b;
+    const double alpha = (2.83 + 5.1 / b) * spq;
+    const double lpq = std::log(p / q);
+    const auto mode = static_cast<std::uint64_t>((n + 1.0) * p);
+    const double h = log_factorial(mode) + log_factorial(trials - mode);
+
+    while (true) {
+        double u = 0.0;
+        double v = uniform_unit(gen);
+        if (v <= 0.86 * vr) {
+            // Inner box: accept without range check or pmf evaluation.
+            u = v / vr - 0.43;
+            const double k = std::floor((2.0 * a / (0.5 - std::abs(u)) + b) * u + c);
+            if (k < 0.0 || k > n) continue;  // defensive: cannot trigger for np ≥ 10
+            return static_cast<std::uint64_t>(k);
+        }
+        if (v >= vr) {
+            u = uniform_unit(gen) - 0.5;
+        } else {
+            u = v / vr - 0.93;
+            u = (u < 0.0 ? -0.5 : 0.5) - u;
+            v = uniform_unit(gen) * vr;
+        }
+        const double us = 0.5 - std::abs(u);
+        const double k = std::floor((2.0 * a / us + b) * u + c);
+        if (k < 0.0 || k > n) continue;
+        const auto ki = static_cast<std::uint64_t>(k);
+        const double scaled = v * alpha / (a / (us * us) + b);
+        const double log_accept = h - log_factorial(ki) - log_factorial(trials - ki) +
+                                  (k - static_cast<double>(mode)) * lpq;
+        if (std::log(scaled) <= log_accept) return ki;
+    }
+}
+
 }  // namespace detail
+
+/// Samples the binomial distribution: the number of successes among `trials`
+/// independent draws that each succeed with probability `num`/`den`. The
+/// probability is taken as an integer ratio so call sites built on counts
+/// avoid any argument-rounding ambiguity (like the other samplers here, the
+/// draw itself still evaluates libm functions, so seeded streams are
+/// reproducible per libm — glibc covers every CI job — not across every
+/// platform's last-ulp differences). Two regimes behind one interface, mirroring
+/// `hypergeometric`: narrow distributions use inversion from the mode
+/// (expected O(sd) work), wide ones Hörmann's BTRS transformed-rejection
+/// sampler (expected O(1) work). Both are exact in distribution up to
+/// double-precision rounding of the pmf.
+template <typename Generator>
+[[nodiscard]] std::uint64_t binomial(Generator& gen, std::uint64_t trials,
+                                     std::uint64_t num, std::uint64_t den) {
+    if (num > den) [[unlikely]] {  // cheap check: no string temporary per call
+        require(false, "binomial: success probability exceeds one");
+    }
+    if (trials == 0 || num == 0) return 0;
+    if (num == den) return trials;
+    // Work on p ≤ ½ (reflect the failures otherwise), the precondition of
+    // BTRS and the cheaper side for inversion. Overflow-safe form of
+    // 2·num > den: num may use all 64 bits.
+    const bool reflected = num > den - num;
+    const double p = reflected ? static_cast<double>(den - num) / static_cast<double>(den)
+                               : static_cast<double>(num) / static_cast<double>(den);
+    const double mean = static_cast<double>(trials) * p;
+    const std::uint64_t x = mean < 10.0 ? detail::binomial_inversion(gen, trials, p)
+                                        : detail::binomial_btrs(gen, trials, p);
+    return reflected ? trials - x : x;
+}
+
+/// Samples the geometric distribution: the number of Bernoulli(p) trials up
+/// to and including the first success (support 1, 2, …), by inversion of
+/// the survival function P(X > k) = (1−p)^k. One PRNG draw and two log
+/// evaluations — the Gillespie engine's null-reaction skip, where it jumps
+/// every null interaction up to the next real reaction at once. Exact up to
+/// double precision of log/log1p, the trade every SSA implementation makes
+/// for its waiting times. Saturates at 2^64−1 for astronomically long waits.
+template <typename Generator>
+[[nodiscard]] std::uint64_t geometric(Generator& gen, double p) {
+    if (p >= 1.0) return 1;
+    if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+    const double u = 1.0 - uniform_unit(gen);  // (0, 1]
+    const double gap = std::floor(std::log(u) / std::log1p(-p));
+    if (gap >= 9.2e18) return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(gap) + 1;
+}
+
+/// Samples a multinomial vector: `trials` independent draws land in colour i
+/// with probability `counts[i]` / Σ counts, and `out[i]` receives the number
+/// of colour-i draws. Factored as a conditional chain of scalar binomial
+/// draws (colour i against the remaining colour mass), exactly like
+/// `multivariate_hypergeometric` below — the with-replacement sibling. This
+/// is the dense reference form: its distribution tests in test_random.cpp
+/// pin the chain math, while the Gillespie engine's τ-leap path runs the
+/// same chain as a sparse specialisation over its (state id, count) live
+/// list (`GillespieEngine::sample_leap_multiset`) — changes to either
+/// chain's fast paths should be mirrored in the other, exactly as for the
+/// hypergeometric chain and `ContingencyTablePairing`. `counts` and `out`
+/// may alias.
+template <typename Generator>
+void multinomial(Generator& gen, const std::uint64_t* counts, std::size_t m,
+                 std::uint64_t trials, std::uint64_t* out) {
+    std::uint64_t pool = 0;
+    for (std::size_t i = 0; i < m; ++i) pool += counts[i];
+    if (pool == 0 && trials > 0) [[unlikely]] {
+        require(false, "multinomial: zero total mass with trials remaining");
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t c = counts[i];
+        if (trials == 0 || c == pool) {  // nothing left to draw, or forced
+            out[i] = trials;
+            trials = 0;
+            pool -= c;
+            continue;
+        }
+        const std::uint64_t x = binomial(gen, trials, c, pool);
+        out[i] = x;
+        pool -= c;
+        trials -= x;
+    }
+    if (trials != 0) [[unlikely]] {  // cheap check: no string temporary per call
+        ensure(false, "multinomial chain under-drew");
+    }
+}
+
+/// Vector convenience overload: returns the per-colour draw counts.
+template <typename Generator>
+[[nodiscard]] std::vector<std::uint64_t> multinomial(
+    Generator& gen, const std::vector<std::uint64_t>& counts, std::uint64_t trials) {
+    std::vector<std::uint64_t> out(counts.size(), 0);
+    multinomial(gen, counts.data(), counts.size(), trials, out.data());
+    return out;
+}
 
 /// Samples the hypergeometric distribution: the number of successes among
 /// `draws` draws without replacement from a population of `total` items of

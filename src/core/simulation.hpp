@@ -1,9 +1,9 @@
 /// \file simulation.hpp
-/// \brief The type-erased run layer: one `Simulation` interface over both
-/// back-ends (the per-interaction `Engine<P>` and the count-based
-/// `BatchedEngine<P>`), plus the observer hook that lets trajectory
-/// recorders and convergence monitors watch any run without entering the
-/// per-interaction hot loop.
+/// \brief The type-erased run layer: one `Simulation` interface over every
+/// back-end (the per-interaction `Engine<P>`, the count-based
+/// `BatchedEngine<P>` and the reaction-rate `GillespieEngine<P>`), plus the
+/// observer hook that lets trajectory recorders and convergence monitors
+/// watch any run without entering the per-interaction hot loop.
 ///
 /// Everything above the engines — the registry, the experiment driver, the
 /// CLI, the benches — speaks this interface. The engines themselves stay
@@ -33,6 +33,7 @@
 #include "batched_engine.hpp"
 #include "common.hpp"
 #include "engine.hpp"
+#include "gillespie_engine.hpp"
 #include "protocol.hpp"
 
 namespace ppsim {
@@ -326,14 +327,20 @@ private:
     Engine<P> engine_;
 };
 
-/// Simulation adapter over the count-based batched engine.
-template <typename P>
+/// Simulation adapter over a count-based engine (BatchedEngine<P> /
+/// GillespieEngine<P>): the forwarding surface plus the visit_counts-based
+/// snapshot assembly, shared so a change to the adapter surface lands once
+/// for every count engine. `batch_mode()` is reported when the engine has
+/// one (the batched engine's pairing strategy); engines without the notion
+/// keep the base default.
+template <typename P, typename EngineT, EngineKind kind_v>
     requires InternableProtocol<P>
-class BatchedSimulation final : public Simulation {
+class CountSimulation final : public Simulation {
 public:
-    BatchedSimulation(P proto, std::size_t n, std::uint64_t seed,
-                      BatchMode batch_mode = BatchMode::automatic)
-        : engine_(std::move(proto), n, seed, batch_mode) {}
+    template <typename... EngineArgs>
+    explicit CountSimulation(P proto, std::size_t n, std::uint64_t seed,
+                             EngineArgs&&... engine_args)
+        : engine_(std::move(proto), n, seed, std::forward<EngineArgs>(engine_args)...) {}
 
     [[nodiscard]] std::size_t population_size() const noexcept override {
         return engine_.population_size();
@@ -345,11 +352,13 @@ public:
     [[nodiscard]] std::optional<StepCount> stabilization_step() const noexcept override {
         return engine_.stabilization_step();
     }
-    [[nodiscard]] EngineKind engine_kind() const noexcept override {
-        return EngineKind::batched;
-    }
+    [[nodiscard]] EngineKind engine_kind() const noexcept override { return kind_v; }
     [[nodiscard]] BatchMode batch_mode() const noexcept override {
-        return engine_.batch_mode();
+        if constexpr (requires { engine_.batch_mode(); }) {
+            return engine_.batch_mode();
+        } else {
+            return Simulation::batch_mode();
+        }
     }
     [[nodiscard]] std::string protocol_name() const override {
         return std::string(engine_.protocol().name());
@@ -367,7 +376,7 @@ public:
     }
 
     /// The wrapped engine, for typed access in tests and examples.
-    [[nodiscard]] BatchedEngine<P>& engine() noexcept { return engine_; }
+    [[nodiscard]] EngineT& engine() noexcept { return engine_; }
 
 protected:
     RunResult run_for_impl(StepCount count) override { return engine_.run_for(count); }
@@ -379,17 +388,26 @@ protected:
     }
 
 private:
-    BatchedEngine<P> engine_;
+    EngineT engine_;
 };
+
+/// Simulation adapter over the count-based batched engine.
+template <typename P>
+using BatchedSimulation = CountSimulation<P, BatchedEngine<P>, EngineKind::batched>;
+
+/// Simulation adapter over the reaction-rate Gillespie engine.
+template <typename P>
+using GillespieSimulation = CountSimulation<P, GillespieEngine<P>, EngineKind::gillespie>;
 
 }  // namespace detail
 
 /// Builds a type-erased simulation from a protocol factory (size → protocol
-/// instance) on the selected back-end. The single place the agent/batched
-/// choice is made for every type-erased consumer; adding an engine means
-/// adding a row to `engine_table` and a case here. `batch_mode` selects the
-/// batched engine's pairing strategy (batch_pairing.hpp) and is ignored by
-/// the agent engine.
+/// instance) on the selected back-end. The single place the
+/// agent/batched/gillespie choice is made for every type-erased consumer;
+/// adding an engine means adding a row to `engine_table` and a case here.
+/// `batch_mode` selects the batched engine's pairing strategy
+/// (batch_pairing.hpp) and is ignored by the other engines (the gillespie
+/// engine's τ-leap path always chooses its pairing per leap).
 template <typename Factory>
 [[nodiscard]] std::unique_ptr<Simulation> make_simulation(
     const Factory& factory, std::size_t n, std::uint64_t seed, EngineKind kind,
@@ -403,6 +421,14 @@ template <typename Factory>
         } else {
             throw InvalidArgument(
                 "protocol has no injective state key: batched engine unavailable");
+        }
+    }
+    if (kind == EngineKind::gillespie) {
+        if constexpr (InternableProtocol<P>) {
+            return std::make_unique<detail::GillespieSimulation<P>>(factory(n), n, seed);
+        } else {
+            throw InvalidArgument(
+                "protocol has no injective state key: gillespie engine unavailable");
         }
     }
     return std::make_unique<detail::AgentSimulation<P>>(factory(n), n, seed);

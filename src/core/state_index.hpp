@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,11 @@ namespace ppsim {
 /// Dense id of an interned state. 32 bits bound the table at 2^32 distinct
 /// states, far beyond any protocol in this library (PLL has O(log n)).
 using StateId = std::uint32_t;
+
+/// Sentinel for "no state id" — never assigned by interning (the index
+/// refuses to grow that far). The transition cache's empty-slot marker and
+/// the engines' exclusion sentinels are all this one constant.
+inline constexpr StateId invalid_state_id = std::numeric_limits<StateId>::max();
 
 /// Interning table for one protocol's states: key → dense id, plus the
 /// per-id state value and cached output role (so the hot path never calls

@@ -128,6 +128,29 @@ struct LinearFit {
 /// baseline for Table 2.
 [[nodiscard]] LinearFit fit_power_law(std::span<const double> x, std::span<const double> y);
 
+/// Result of a two-sample Kolmogorov–Smirnov test: the KS statistic (the
+/// supremum distance between the two empirical CDFs) and the asymptotic
+/// p-value of the null hypothesis that both samples come from the same
+/// distribution. The cross-engine agreement harness
+/// (tests/test_statistical.cpp) runs this over stabilisation-time samples.
+struct KsTestResult {
+    double statistic = 0.0;
+    double p_value = 1.0;
+};
+
+/// Two-sample KS statistic sup_x |F_a(x) − F_b(x)|. Requires both samples
+/// non-empty; the inputs need not be sorted (copies are sorted internally).
+[[nodiscard]] double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+/// Asymptotic p-value of a two-sample KS statistic for sample sizes n1, n2
+/// (Kolmogorov distribution with the Stephens small-sample correction, as in
+/// Numerical Recipes). Accurate for n1, n2 ≳ 20 — the harness uses hundreds.
+[[nodiscard]] double ks_p_value(double statistic, std::size_t n1, std::size_t n2);
+
+/// Convenience: statistic + p-value in one call.
+[[nodiscard]] KsTestResult ks_two_sample(std::span<const double> a,
+                                         std::span<const double> b);
+
 /// Two-sided binomial confidence interval (Wilson score) for a proportion.
 struct ProportionCi {
     double estimate = 0.0;

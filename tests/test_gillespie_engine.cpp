@@ -1,0 +1,221 @@
+// Invariant and integration tests for the reaction-rate Gillespie engine
+// (src/core/gillespie_engine.hpp):
+//
+//  * agent-count conservation and incremental-leader-count consistency
+//    across both execution paths (exact SSA below the leap threshold,
+//    τ-leaping above it);
+//  * seeded determinism of full runs;
+//  * exactness guarantee at small n (the engine must never leap there — the
+//    property the KS harness in test_statistical.cpp relies on);
+//  * the run/verify surface (run_for step exactness, verify_outputs_stable);
+//  * the engine-table row, registry dispatch and Simulation adapter
+//    (snapshots, observers) for the third back-end.
+//
+// Distributional agreement with the other engines lives in
+// test_statistical.cpp; golden seeded replays in test_golden_seeds.cpp.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/gillespie_engine.hpp"
+#include "core/observer.hpp"
+#include "core/simulation.hpp"
+#include "protocols/angluin.hpp"
+#include "protocols/lottery.hpp"
+#include "protocols/pll.hpp"
+#include "protocols/registry.hpp"
+
+namespace ppsim {
+namespace {
+
+static_assert(InternableProtocol<Angluin>);
+static_assert(InternableProtocol<Lottery>);
+static_assert(InternableProtocol<Pll>);
+
+TEST(EngineTable, GillespieRowRoundTrips) {
+    EXPECT_EQ(parse_engine_kind("gillespie"), EngineKind::gillespie);
+    EXPECT_EQ(to_string(EngineKind::gillespie), "gillespie");
+    EXPECT_NE(engine_kind_list().find("gillespie"), std::string::npos);
+}
+
+TEST(GillespieEngine, ConservesAgentsAndLeaderCountInExactRegime) {
+    const std::size_t n = 256;  // below leap_min_population: exact SSA paths
+    GillespieEngine<Lottery> engine(Lottery::for_population(n), n, 7);
+    ASSERT_LT(n, GillespieEngine<Lottery>::leap_min_population);
+    for (int i = 0; i < 20; ++i) {
+        (void)engine.run_for(500);
+        EXPECT_EQ(engine.total_count(), n);
+        const std::size_t incremental = engine.leader_count();
+        EXPECT_EQ(engine.recount_leaders(), incremental);
+    }
+    EXPECT_EQ(engine.leaps_taken(), 0U) << "engine leaped below its population floor";
+}
+
+TEST(GillespieEngine, ConservesAgentsAndLeaderCountInLeapRegime) {
+    const std::size_t n = 8192;
+    GillespieEngine<Pll> engine(Pll::for_population(n), n, 11);
+    for (int i = 0; i < 10; ++i) {
+        (void)engine.run_for(4096);
+        EXPECT_EQ(engine.total_count(), n);
+        const std::size_t incremental = engine.leader_count();
+        EXPECT_EQ(engine.recount_leaders(), incremental);
+    }
+    EXPECT_GT(engine.leaps_taken(), 0U) << "leap path never engaged at n = 8192";
+}
+
+TEST(GillespieEngine, RunForExecutesExactlyTheRequestedSteps) {
+    for (const std::size_t n : {std::size_t{128}, std::size_t{16384}}) {
+        GillespieEngine<Angluin> engine(Angluin{}, n, 3);
+        (void)engine.run_for(1);
+        EXPECT_EQ(engine.steps(), 1U);
+        (void)engine.run_for(9999);
+        EXPECT_EQ(engine.steps(), 10000U);
+        (void)engine.run_for(0);
+        EXPECT_EQ(engine.steps(), 10000U);
+    }
+}
+
+TEST(GillespieEngine, IsDeterministicForEqualSeeds) {
+    for (const std::size_t n : {std::size_t{512}, std::size_t{8192}}) {
+        GillespieEngine<Lottery> a(Lottery::for_population(n), n, 99);
+        GillespieEngine<Lottery> b(Lottery::for_population(n), n, 99);
+        const RunResult ra = a.run_until_one_leader(static_cast<StepCount>(n) * n);
+        const RunResult rb = b.run_until_one_leader(static_cast<StepCount>(n) * n);
+        EXPECT_EQ(ra.steps, rb.steps);
+        EXPECT_EQ(ra.leader_count, rb.leader_count);
+        EXPECT_EQ(ra.stabilization_step, rb.stabilization_step);
+        EXPECT_EQ(a.count_of(a.protocol().initial_state()),
+                  b.count_of(b.protocol().initial_state()));
+    }
+}
+
+TEST(GillespieEngine, StabilizationStepIsRecordedAndPlausible) {
+    const std::size_t n = 1024;
+    GillespieEngine<Lottery> engine(Lottery::for_population(n), n, 5);
+    const RunResult r = engine.run_until_one_leader(static_cast<StepCount>(n) * n);
+    ASSERT_TRUE(r.converged);
+    ASSERT_TRUE(r.stabilization_step.has_value());
+    EXPECT_GE(*r.stabilization_step, 1U);
+    EXPECT_LE(*r.stabilization_step, r.steps);
+    EXPECT_EQ(engine.leader_count(), 1U);
+}
+
+TEST(GillespieEngine, NullSkippingJumpsDeadTailsInOneRound) {
+    // angluin06 with a single leader is fully absorbed: every channel is
+    // null, so run_for must consume any budget in O(1) rounds rather than
+    // stepping through it.
+    const std::size_t n = 512;
+    GillespieEngine<Angluin> engine(Angluin{}, n, 21);
+    const RunResult r = engine.run_until_one_leader(static_cast<StepCount>(n) * n * 60);
+    ASSERT_TRUE(r.converged);
+    const StepCount before = engine.steps();
+    (void)engine.run_for(1'000'000'000ULL);  // a billion dead steps, instantly
+    EXPECT_EQ(engine.steps(), before + 1'000'000'000ULL);
+    EXPECT_EQ(engine.leader_count(), 1U);
+}
+
+TEST(GillespieEngine, VerifyOutputsStableAfterConvergence) {
+    const std::size_t n = 512;
+    GillespieEngine<Lottery> engine(Lottery::for_population(n), n, 13);
+    const RunResult r = engine.run_until_one_leader(static_cast<StepCount>(n) * n);
+    ASSERT_TRUE(r.converged);
+    EXPECT_TRUE(engine.verify_outputs_stable(static_cast<StepCount>(n) * 64));
+    EXPECT_EQ(engine.leader_count(), 1U);
+}
+
+TEST(GillespieEngine, VisitCountsEnumeratesTheWholePopulation) {
+    const std::size_t n = 2048;
+    GillespieEngine<Pll> engine(Pll::for_population(n), n, 17);
+    (void)engine.run_for(static_cast<StepCount>(n) * 4);
+    std::uint64_t total = 0;
+    std::uint64_t leaders = 0;
+    engine.visit_counts([&](const auto&, std::uint64_t count, Role role) {
+        total += count;
+        if (role == Role::leader) leaders += count;
+    });
+    EXPECT_EQ(total, n);
+    EXPECT_EQ(leaders, engine.leader_count());
+    EXPECT_EQ(engine.live_state_count(), static_cast<std::size_t>([&] {
+                  std::size_t states = 0;
+                  engine.visit_counts([&](const auto&, std::uint64_t, Role) { ++states; });
+                  return states;
+              }()));
+}
+
+// --- registry / Simulation adapter integration ------------------------------
+
+TEST(GillespieSimulation, EveryRegisteredProtocolElectsOneLeader) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    for (const std::string& name : registry.names()) {
+        const std::size_t n = 512;
+        const RunResult r = registry.run_election(
+            name, n, 2019, static_cast<StepCount>(n) * n * 60, EngineKind::gillespie);
+        EXPECT_TRUE(r.converged) << name << " did not elect a leader on gillespie";
+        EXPECT_EQ(r.leader_count, 1U) << name;
+    }
+}
+
+TEST(GillespieSimulation, ReportsItsKindAndSnapshotAgreesWithEngineCounts) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const std::size_t n = 1024;
+    const auto sim = registry.make_simulation("pll", n, 7, EngineKind::gillespie);
+    EXPECT_EQ(sim->engine_kind(), EngineKind::gillespie);
+    EXPECT_EQ(sim->batch_mode(), BatchMode::automatic);
+    (void)sim->run_for(static_cast<StepCount>(n) * 2);
+    const ConfigurationSnapshot snapshot = sim->state_counts();
+    EXPECT_EQ(snapshot.total(), n);
+    EXPECT_EQ(snapshot.leaders(), sim->leader_count());
+    EXPECT_EQ(snapshot.counts.size(), sim->live_state_count());
+    EXPECT_EQ(snapshot.step, sim->steps());
+    for (std::size_t i = 1; i < snapshot.counts.size(); ++i) {
+        EXPECT_LT(snapshot.counts[i - 1].key, snapshot.counts[i].key);  // sorted census
+    }
+}
+
+TEST(GillespieSimulation, SnapshotKeysMatchTheAgentEngineAtRunStart) {
+    // Same protocol, both engines at step 0: identical censuses (one state,
+    // canonical key equal across engines).
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const std::size_t n = 256;
+    const auto agent = registry.make_simulation("lottery", n, 3, EngineKind::agent);
+    const auto gillespie = registry.make_simulation("lottery", n, 3, EngineKind::gillespie);
+    const ConfigurationSnapshot sa = agent->state_counts();
+    const ConfigurationSnapshot sg = gillespie->state_counts();
+    ASSERT_EQ(sa.counts.size(), sg.counts.size());
+    for (std::size_t i = 0; i < sa.counts.size(); ++i) {
+        EXPECT_EQ(sa.counts[i].key, sg.counts[i].key);
+        EXPECT_EQ(sa.counts[i].count, sg.counts[i].count);
+    }
+}
+
+TEST(GillespieSimulation, ObserversSeeMonotoneCadencedTrajectories) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const std::size_t n = 8192;  // leap regime: deadlines must clamp leaps
+    const auto sim = registry.make_simulation("pll", n, 11, EngineKind::gillespie);
+    TrajectoryRecorder recorder(/*stride=*/n / 4, /*record_live_states=*/true);
+    sim->add_observer(recorder);
+    const RunResult r = sim->run_until_one_leader(static_cast<StepCount>(n) * 400);
+    ASSERT_TRUE(r.converged);
+    const std::vector<TrajectoryPoint>& points = recorder.points();
+    ASSERT_GE(points.size(), 2U);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].step, points[i - 1].step);
+    }
+    EXPECT_EQ(points.back().leader_count, 1U);
+    EXPECT_GE(points.front().leader_count, points.back().leader_count);
+}
+
+TEST(GillespieSimulation, RunToSingleLeaderWithVerificationCertifies) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const std::size_t n = 512;
+    const RunResult r = registry.run_election_verified(
+        "lottery", n, 77, static_cast<StepCount>(n) * n, static_cast<StepCount>(n) * 32,
+        EngineKind::gillespie);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.leader_count, 1U);
+}
+
+}  // namespace
+}  // namespace ppsim

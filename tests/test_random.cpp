@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <vector>
@@ -245,6 +246,187 @@ TEST(Hypergeometric, IsDeterministicForEqualSeeds) {
     for (int i = 0; i < 2000; ++i) {
         ASSERT_EQ(hypergeometric(a, 100000, 40000, 20000),
                   hypergeometric(b, 100000, 40000, 20000));
+    }
+}
+
+// --- binomial sampler (inversion vs BTRS transformed rejection) --------------
+
+// Exact pmf of Binomial(trials, num/den) at x.
+double binomial_pmf(std::uint64_t trials, double p, std::uint64_t x) {
+    return std::exp(detail::log_choose(trials, x) + static_cast<double>(x) * std::log(p) +
+                    static_cast<double>(trials - x) * std::log1p(-p));
+}
+
+TEST(Binomial, InversionPathMatchesExactPmf) {
+    // Narrow regime (mean < 10 after reflection): the dispatcher takes the
+    // mode-centred inversion walk.
+    Rng gen(321);
+    const std::uint64_t trials = 40;
+    const std::uint64_t num = 3;
+    const std::uint64_t den = 20;
+    std::map<std::uint64_t, int> freq;
+    const int reps = 400000;
+    for (int i = 0; i < reps; ++i) ++freq[binomial(gen, trials, num, den)];
+    for (const auto& [value, count] : freq) {
+        const double exact = binomial_pmf(trials, 0.15, value);
+        const double empirical = static_cast<double>(count) / reps;
+        const double sigma = std::sqrt(exact * (1.0 - exact) / reps);
+        EXPECT_NEAR(empirical, exact, 5.0 * sigma + 1e-4) << "x = " << value;
+    }
+}
+
+TEST(Binomial, BtrsPathMatchesExactPmf) {
+    // Wide regime: mean ≈ 1850, sd ≈ 34 — the BTRS rejection path. Bin-by-bin
+    // check over mode ± 5 sd (≥ 99.9999% of the mass).
+    Rng gen(99);
+    const std::uint64_t trials = 5000;
+    const double p = 0.37;
+    const double mean = static_cast<double>(trials) * p;
+    const double sd = std::sqrt(mean * (1.0 - p));
+    const int reps = 300000;
+    std::map<std::uint64_t, int> freq;
+    for (int i = 0; i < reps; ++i) ++freq[binomial(gen, trials, 37, 100)];
+    const auto lo = static_cast<std::uint64_t>(mean - 5.0 * sd);
+    const auto hi = static_cast<std::uint64_t>(mean + 5.0 * sd);
+    double covered = 0.0;
+    for (std::uint64_t x = lo; x <= hi; ++x) {
+        const double exact = binomial_pmf(trials, p, x);
+        covered += exact;
+        const double observed = static_cast<double>(freq[x]) / reps;
+        const double sigma = std::sqrt(exact * (1.0 - exact) / reps);
+        EXPECT_NEAR(observed, exact, 5.0 * sigma + 1e-5) << "x = " << x;
+    }
+    EXPECT_GT(covered, 0.999);
+}
+
+TEST(Binomial, ReflectedProbabilityMatchesExactMoments) {
+    // p > ½ exercises the reflection; moments must still match.
+    Rng gen(7);
+    const std::uint64_t trials = 10000;
+    const double p = 0.85;
+    const double mean = static_cast<double>(trials) * p;
+    const double sd = std::sqrt(mean * (1.0 - p));
+    const int reps = 100000;
+    const auto moments =
+        sample_moments([&] { return binomial(gen, trials, 85, 100); }, reps);
+    EXPECT_NEAR(moments.mean, mean, 5.0 * sd / std::sqrt(reps));
+    EXPECT_NEAR(moments.sd, sd, 0.02 * sd);
+}
+
+TEST(Binomial, RespectsSupportAndEdges) {
+    Rng gen(55);
+    EXPECT_EQ(binomial(gen, 0, 1, 2), 0U);       // no trials
+    EXPECT_EQ(binomial(gen, 100, 0, 5), 0U);     // p = 0
+    EXPECT_EQ(binomial(gen, 100, 5, 5), 100U);   // p = 1
+    EXPECT_THROW((void)binomial(gen, 10, 6, 5), InvalidArgument);
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_LE(binomial(gen, 17, 1, 3), 17U);
+    }
+}
+
+TEST(Binomial, ReflectionIsOverflowSafeForFullWidthRatios) {
+    // num > 2^63 used to overflow the `2·num > den` reflection test, routing
+    // p > ½ into the BTRS sampler whose constants assume p ≤ ½. Full-width
+    // ratio with p = 0.75: the empirical mean must sit at trials·p, not
+    // trials·(1−p).
+    Rng gen(8);
+    const std::uint64_t den = std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t num = den - den / 4;  // p = 0.75, num ≈ 1.5·2^63
+    const std::uint64_t trials = 4000;
+    const double mean = static_cast<double>(trials) * 0.75;
+    const double sd = std::sqrt(mean * 0.25);
+    const int reps = 50000;
+    const auto moments =
+        sample_moments([&] { return binomial(gen, trials, num, den); }, reps);
+    EXPECT_NEAR(moments.mean, mean, 5.0 * sd / std::sqrt(reps));
+    EXPECT_NEAR(moments.sd, sd, 0.03 * sd);
+}
+
+TEST(Binomial, IsDeterministicForEqualSeeds) {
+    Rng a(4);
+    Rng b(4);
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_EQ(binomial(a, 100000, 123, 1000), binomial(b, 100000, 123, 1000));
+    }
+}
+
+// --- geometric (the SSA null-reaction skip) ----------------------------------
+
+TEST(Geometric, MatchesExactPmf) {
+    // P(X = k) = (1−p)^{k−1}·p on support 1, 2, …
+    Rng gen(61);
+    const double p = 0.2;
+    const int reps = 400000;
+    std::map<std::uint64_t, int> freq;
+    for (int i = 0; i < reps; ++i) ++freq[geometric(gen, p)];
+    EXPECT_EQ(freq.count(0), 0U);  // support starts at 1
+    for (std::uint64_t k = 1; k <= 40; ++k) {
+        const double exact = std::pow(1.0 - p, static_cast<double>(k - 1)) * p;
+        const double observed = static_cast<double>(freq[k]) / reps;
+        const double sigma = std::sqrt(exact * (1.0 - exact) / reps);
+        EXPECT_NEAR(observed, exact, 5.0 * sigma + 1e-4) << "k = " << k;
+    }
+}
+
+TEST(Geometric, SmallProbabilityMatchesTheMean) {
+    // The engine's regime: tiny p, huge expected gaps. E[X] = 1/p.
+    Rng gen(62);
+    const double p = 1e-6;
+    const int reps = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < reps; ++i) sum += static_cast<double>(geometric(gen, p));
+    const double mean = sum / reps;
+    // sd of the mean ≈ (1/p)/√reps; allow 5σ.
+    EXPECT_NEAR(mean, 1.0 / p, 5.0 / (p * std::sqrt(static_cast<double>(reps))));
+}
+
+TEST(Geometric, EdgesAndDeterminism) {
+    Rng gen(63);
+    EXPECT_EQ(geometric(gen, 1.0), 1U);
+    EXPECT_EQ(geometric(gen, 2.0), 1U);
+    EXPECT_EQ(geometric(gen, 0.0), std::numeric_limits<std::uint64_t>::max());
+    Rng a(9);
+    Rng b(9);
+    for (int i = 0; i < 2000; ++i) ASSERT_EQ(geometric(a, 0.37), geometric(b, 0.37));
+}
+
+// --- multinomial (the τ-leap multiset sampler) -------------------------------
+
+TEST(Multinomial, SumsAreExactAndMarginalsMatchTheScalarBinomial) {
+    Rng gen(2025);
+    const std::vector<std::uint64_t> counts = {30, 0, 50, 20};
+    const std::uint64_t trials = 64;
+    const int reps = 200000;
+    std::vector<std::map<std::uint64_t, int>> freq(counts.size());
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto out = multinomial(gen, counts, trials);
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            total += out[i];
+            ++freq[i][out[i]];
+        }
+        ASSERT_EQ(total, trials);  // with replacement, but the sum is exact
+    }
+    EXPECT_EQ(freq[1].size(), 1U);  // empty colour never drawn
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double p = static_cast<double>(counts[i]) / 100.0;
+        if (p == 0.0) continue;
+        for (const auto& [value, count] : freq[i]) {
+            const double exact = binomial_pmf(trials, p, value);
+            const double empirical = static_cast<double>(count) / reps;
+            const double sigma = std::sqrt(exact * (1.0 - exact) / reps);
+            EXPECT_NEAR(empirical, exact, 5.0 * sigma + 1e-4)
+                << "colour " << i << ", x = " << value;
+        }
+    }
+}
+
+TEST(Multinomial, IsDeterministicForEqualSeeds) {
+    const std::vector<std::uint64_t> counts = {100, 300, 7, 0, 2000, 55};
+    Rng a(17);
+    Rng b(17);
+    for (int rep = 0; rep < 2000; ++rep) {
+        ASSERT_EQ(multinomial(a, counts, 500), multinomial(b, counts, 500));
     }
 }
 

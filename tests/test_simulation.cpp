@@ -116,11 +116,11 @@ TEST(Simulation, ObserversDoNotPerturbTheAgentEngine) {
 TEST(Simulation, SnapshotsAgreeAcrossEnginesAtStartAndEnd) {
     // angluin06's initial and final configurations are deterministic (all
     // leaders; one leader + n−1 followers), so the state-count snapshots of
-    // the two engines must agree exactly at both ends of a converged run.
+    // every engine must agree exactly at both ends of a converged run.
     const ProtocolRegistry& registry = ProtocolRegistry::instance();
     const std::size_t n = 256;
-    ConfigurationSnapshot initial[2];
-    ConfigurationSnapshot final_[2];
+    ConfigurationSnapshot initial[engine_table.size()];
+    ConfigurationSnapshot final_[engine_table.size()];
     for (const EngineDescriptor& d : engine_table) {
         const auto sim = registry.make_simulation("angluin06", n, 11, d.kind);
         initial[static_cast<int>(d.kind)] = sim->state_counts();
@@ -128,19 +128,19 @@ TEST(Simulation, SnapshotsAgreeAcrossEnginesAtStartAndEnd) {
         ASSERT_TRUE(r.converged) << d.name;
         final_[static_cast<int>(d.kind)] = sim->state_counts();
     }
-    for (int e = 0; e < 2; ++e) {
+    for (std::size_t e = 0; e < engine_table.size(); ++e) {
         EXPECT_EQ(initial[e].total(), n);
         EXPECT_EQ(initial[e].leaders(), n);
         ASSERT_EQ(initial[e].counts.size(), 1U);
         EXPECT_EQ(final_[e].total(), n);
         EXPECT_EQ(final_[e].leaders(), 1U);
         ASSERT_EQ(final_[e].counts.size(), 2U);
-    }
-    EXPECT_EQ(initial[0].counts[0].key, initial[1].counts[0].key);
-    for (std::size_t i = 0; i < 2; ++i) {
-        EXPECT_EQ(final_[0].counts[i].key, final_[1].counts[i].key);
-        EXPECT_EQ(final_[0].counts[i].count, final_[1].counts[i].count);
-        EXPECT_EQ(final_[0].counts[i].role, final_[1].counts[i].role);
+        EXPECT_EQ(initial[0].counts[0].key, initial[e].counts[0].key);
+        for (std::size_t i = 0; i < 2; ++i) {
+            EXPECT_EQ(final_[0].counts[i].key, final_[e].counts[i].key);
+            EXPECT_EQ(final_[0].counts[i].count, final_[e].counts[i].count);
+            EXPECT_EQ(final_[0].counts[i].role, final_[e].counts[i].role);
+        }
     }
 }
 

@@ -191,6 +191,78 @@ TEST(WilsonInterval, HandlesExtremesAndRejectsBadInput) {
     EXPECT_THROW((void)wilson_interval(5, 4), InvalidArgument);
 }
 
+TEST(KsTest, StatisticMatchesHandComputedCdfGap) {
+    // F_a jumps at 1,2,3,4 (¼ each); F_b jumps at 3,4,5,6. The largest CDF
+    // gap is at x ∈ [2, 3): F_a = ½, F_b = 0.
+    const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> b = {3.0, 4.0, 5.0, 6.0};
+    EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.5);
+    // Identical samples have zero distance and p-value 1.
+    EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(ks_two_sample(a, a).p_value, 1.0);
+}
+
+TEST(KsTest, TiesAcrossSamplesDoNotInflateTheStatistic) {
+    // Every value tied between the samples: the CDFs coincide at every
+    // observation point, so D must be 0 (a one-sided walk would report ½).
+    const std::vector<double> a = {1.0, 1.0, 2.0};
+    const std::vector<double> b = {1.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.0);
+}
+
+TEST(KsTest, DetectsAShiftedDistribution) {
+    // Two large samples offset by one standard-deviation-ish shift: the test
+    // must reject at any sane level.
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 400; ++i) {
+        const double u = (static_cast<double>(i) + 0.5) / 400.0;
+        a.push_back(u);
+        b.push_back(u + 0.3);
+    }
+    const KsTestResult r = ks_two_sample(a, b);
+    EXPECT_NEAR(r.statistic, 0.3, 0.01);
+    EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, AcceptsSamplesFromTheSameDistribution) {
+    // Interleaved quantiles of the same uniform grid: tiny D, p ≈ 1.
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 500; ++i) {
+        const double u = (static_cast<double>(i) + 0.5) / 500.0;
+        ((i % 2) == 0 ? a : b).push_back(u);
+    }
+    const KsTestResult r = ks_two_sample(a, b);
+    EXPECT_LT(r.statistic, 0.01);
+    EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(KsTest, NearIdenticalLargeSamplesReportNoDifference) {
+    // λ ≈ 0.005 with huge samples: the Kolmogorov series does not converge
+    // within its term budget; the NR probks convention applies (p = 1)
+    // instead of returning a truncated, deflated sum.
+    EXPECT_GT(ks_p_value(1e-5, 200000, 200000), 0.999);
+    // And a large-sample near-tie through the full two-sample path.
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 50000; ++i) {
+        const double u = (static_cast<double>(i) + 0.5) / 50000.0;
+        a.push_back(u);
+        b.push_back(u + 1e-7);
+    }
+    EXPECT_GT(ks_two_sample(a, b).p_value, 0.999);
+}
+
+TEST(KsTest, PValueIsMonotoneInTheStatistic) {
+    EXPECT_GT(ks_p_value(0.05, 200, 200), ks_p_value(0.10, 200, 200));
+    EXPECT_GT(ks_p_value(0.10, 200, 200), ks_p_value(0.20, 200, 200));
+    EXPECT_DOUBLE_EQ(ks_p_value(0.0, 200, 200), 1.0);
+    const std::vector<double> empty;
+    const std::vector<double> one = {1.0};
+    EXPECT_THROW((void)ks_statistic(empty, one), InvalidArgument);
+}
+
 TEST(CommonHelpers, CeilAndFloorLog2) {
     EXPECT_EQ(ceil_log2(1), 0U);
     EXPECT_EQ(ceil_log2(2), 1U);

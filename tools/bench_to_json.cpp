@@ -1,10 +1,12 @@
-// bench_to_json — measures interactions/sec of both simulation back-ends
-// (agent-based Engine vs count-based BatchedEngine) across protocols,
-// population sizes and batch-pairing modes, prints a table, and writes the
-// machine-readable perf trajectory to BENCH_engine.json so future PRs can
-// regress against it. The batched engine is measured once per pairing
-// strategy (pairwise | bulk | auto — see src/core/batch_pairing.hpp), so the
-// JSON carries a `batch_mode` dimension alongside protocol and n.
+// bench_to_json — measures interactions/sec of all three simulation
+// back-ends (agent-based Engine, count-based BatchedEngine, reaction-rate
+// GillespieEngine) across protocols, population sizes and batch-pairing
+// modes, prints a table, and writes the machine-readable perf trajectory to
+// BENCH_engine.json so future PRs can regress against it. The batched engine
+// is measured once per pairing strategy (pairwise | bulk | auto — see
+// src/core/batch_pairing.hpp), so the JSON carries a `batch_mode` dimension
+// alongside protocol and n; the gillespie engine contributes one row per
+// (protocol, n) like the agent engine.
 //
 //   bench_to_json                         # default grid, writes BENCH_engine.json
 //   bench_to_json --protocols pll --sizes 1048576 --json out.json
@@ -100,8 +102,10 @@ int run(const ArgParser& args) {
     for (const BatchModeDescriptor& d : batch_mode_table) {
         table.add_column(std::string(d.name) + " int/s");
     }
+    table.add_column("gillespie int/s");
     table.add_column("auto speedup");
     table.add_column("bulk/pairwise");
+    table.add_column("gillespie/pairwise");
 
     JsonValue root = JsonValue::object();
     root.set("library_version", library_version);
@@ -149,9 +153,29 @@ int run(const ArgParser& args) {
                 row.set("speedup_vs_agent", speedup);
                 rows.push_back(std::move(row));
             }
+            const Measurement gillespie =
+                measure(protocol, EngineKind::gillespie, BatchMode::automatic, n,
+                        steps_per_run, min_seconds);
+            cells.push_back(scientific(gillespie.rate()));
+
+            JsonValue gillespie_row = JsonValue::object();
+            gillespie_row.set("protocol", protocol);
+            gillespie_row.set("n", static_cast<std::uint64_t>(n));
+            gillespie_row.set("steps_per_run", steps_per_run);
+            gillespie_row.set("engine", std::string(to_string(EngineKind::gillespie)));
+            gillespie_row.set("interactions_per_sec", gillespie.rate());
+            gillespie_row.set("speedup_vs_agent",
+                              agent.rate() > 0.0 ? gillespie.rate() / agent.rate() : 0.0);
+            gillespie_row.set("speedup_vs_batched_pairwise",
+                              pairwise_rate > 0.0 ? gillespie.rate() / pairwise_rate
+                                                  : 0.0);
+            rows.push_back(std::move(gillespie_row));
+
             cells.push_back(ratio(agent.rate() > 0.0 ? auto_rate / agent.rate() : 0.0));
             cells.push_back(
                 ratio(pairwise_rate > 0.0 ? bulk_rate / pairwise_rate : 0.0));
+            cells.push_back(
+                ratio(pairwise_rate > 0.0 ? gillespie.rate() / pairwise_rate : 0.0));
             table.add_row(cells);
         }
     }
