@@ -13,6 +13,7 @@
 #include "protocols/mst.hpp"
 #include "protocols/pll.hpp"
 #include "protocols/pll_symmetric.hpp"
+#include "protocols/rated.hpp"
 
 namespace {
 
@@ -76,6 +77,20 @@ void BM_StepPllSymmetric(benchmark::State& state) {
               SymmetricPll::for_population(static_cast<std::size_t>(state.range(0))));
 }
 BENCHMARK(BM_StepPllSymmetric)->Arg(1024)->Arg(1 << 14);
+
+// Rate-annotated rows: the per-step cost of rejection thinning on the agent
+// engine (one rate evaluation + at most one uniform draw per scheduled
+// pair) against the unrated rows above. rated_epidemic's mean firing
+// probability falls toward 1/4 as the population settles slow; the
+// rated_election bulk idles at 1/9, so most steps are thinned nulls.
+void BM_StepRatedEpidemic(benchmark::State& state) { run_steps(state, RatedEpidemic{}); }
+BENCHMARK(BM_StepRatedEpidemic)->Arg(1024)->Arg(1 << 14);
+
+void BM_StepRatedElection(benchmark::State& state) {
+    run_steps(state,
+              TwoRateElection::for_population(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_StepRatedElection)->Arg(1024)->Arg(1 << 14);
 
 void BM_FullPllElection(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

@@ -76,6 +76,11 @@ SweepResult run_sweep(const SweepConfig& config) {
                                      config.trajectory_live_states);
                     sim->add_observer(*recorder);
                 }
+                std::optional<DeadlineObserver> deadline;
+                if (config.deadline_time > 0.0) {
+                    deadline.emplace(config.deadline_time, n);
+                    sim->add_observer(*deadline);
+                }
                 std::unique_ptr<SimulationObserver> custom;
                 if (config.make_observer) {
                     custom = config.make_observer(n, rep);
@@ -90,6 +95,21 @@ SweepResult run_sweep(const SweepConfig& config) {
                     point.samples.add(t);
                 } else {
                     ++point.failures;
+                }
+                if (deadline && deadline->report()) {
+                    const DeadlineReport& report = *deadline->report();
+                    // A report is a valid deadline-time census when the run
+                    // reached the deadline step, or stabilised first (the
+                    // absorbing final state holds through the deadline). A
+                    // run that merely exhausted its budget reports an
+                    // earlier, still-evolving census — exclude it rather
+                    // than poison the aggregate (it also counts in
+                    // `failures`).
+                    if (report.reached_deadline || report.stabilized) {
+                        point.deadline_leaders.add(
+                            static_cast<double>(report.leader_count));
+                        if (report.stabilized) ++point.deadline_stabilized;
+                    }
                 }
                 if (recorder) {
                     point.trajectories.push_back(RepTrajectory{rep, recorder->take_points()});

@@ -48,6 +48,13 @@ struct SweepConfig {
     /// Extra steps of output-stability verification after convergence
     /// (0 = skip verification).
     StepCount verify_steps = 0;
+    /// When > 0, attach a DeadlineObserver (core/observer.hpp) to every
+    /// repetition at this model-time point (parallel-time units): each run
+    /// reports its leader count at model time `deadline_time`, aggregated
+    /// into SweepPoint::deadline_leaders / deadline_stabilized. Runs that
+    /// stabilise before the deadline report their absorbing final census.
+    /// The code path behind `ppsim_sim --deadline`.
+    double deadline_time = 0.0;
     /// When > 0, record a leader-count trajectory for every repetition,
     /// sampled every `trajectory_stride` interactions (kept per SweepPoint,
     /// sorted by repetition index for reproducibility).
@@ -82,6 +89,13 @@ struct SweepPoint {
     std::size_t failures = 0;       ///< runs that missed the budget or failed verification
     RunningStats parallel_time;     ///< stabilisation time (parallel) over converged runs
     SampleSet samples;              ///< raw stabilisation times for percentiles
+    /// Leader counts observed at SweepConfig::deadline_time — one sample
+    /// per repetition that reached the deadline or stabilised before it
+    /// (budget-exhausted runs are excluded: their census predates the
+    /// deadline). Empty unless deadline_time > 0.
+    RunningStats deadline_leaders;
+    /// Repetitions that had stabilised (single leader) by the deadline.
+    std::size_t deadline_stabilized = 0;
     /// Per-repetition trajectories (empty unless trajectory_stride > 0).
     std::vector<RepTrajectory> trajectories;
 };

@@ -74,6 +74,12 @@ JsonValue sweep_to_json(const SweepResult& sweep) {
             point.set("median", p.samples.median());
             point.set("p95", p.samples.percentile(95.0));
         }
+        if (p.deadline_leaders.count() > 0) {
+            point.set("deadline_mean_leaders", p.deadline_leaders.mean());
+            point.set("deadline_max_leaders", p.deadline_leaders.max());
+            point.set("deadline_stabilized",
+                      static_cast<std::uint64_t>(p.deadline_stabilized));
+        }
         points.push_back(std::move(point));
     }
     root.set("points", std::move(points));

@@ -6,11 +6,12 @@
 /// The agent-based `Engine<P>` pays one PRNG draw plus one transition plus
 /// two random memory accesses per interaction — Θ(n log n) sequential work
 /// per stabilisation run. This engine instead represents the configuration
-/// as a dense vector of per-state *counts* (states interned on first sight
-/// by `StateIndex`) and advances time in batches, following the scheme of
-/// Berenbrink, Hammer, Kaaser, Meyer, Penschuck and Tran ("Simulating
-/// Population Protocols in Sub-Constant Time per Interaction", ESA 2020),
-/// the same algorithm behind Doty & Severson's `ppsim` package:
+/// as a dense vector of per-state *counts* (the shared InternedCountStore,
+/// count_store.hpp; states interned on first sight by `StateIndex`) and
+/// advances time in batches, following the scheme of Berenbrink, Hammer,
+/// Kaaser, Meyer, Penschuck and Tran ("Simulating Population Protocols in
+/// Sub-Constant Time per Interaction", ESA 2020), the same algorithm behind
+/// Doty & Severson's `ppsim` package:
 ///
 ///  1. Sample the collision-free run length L — the number of consecutive
 ///     interactions whose 2L agents are all distinct (birthday problem,
@@ -37,6 +38,16 @@
 /// asymmetry (PLL's coin flips) is preserved because initiator and responder
 /// multisets are sampled per slot parity, never merged.
 ///
+/// **Rate-annotated protocols** (RatedProtocol, protocol.hpp) are honoured
+/// by rejection thinning against the maximum rate: each cell of a batch
+/// draws the number of pairs that actually fire as
+/// Binomial(mult, rate/max_rate); the rest met without reacting and re-enter
+/// the touched multiset with their states unchanged — exactly the thinned
+/// chain the agent engine runs pair by pair, so cross-engine agreement is
+/// preserved (KS harness, tests/test_statistical.cpp). Unrated protocols
+/// compile to the identical pre-rate hot path (`if constexpr`), so their
+/// seeded replay streams are bit-for-bit unchanged.
+///
 /// The stabilisation step is recorded *exactly*, not at batch granularity:
 /// when a batch crosses to a single leader, the per-pair leader deltas are
 /// replayed in a uniformly shuffled order (the pair sequence is exchangeable,
@@ -57,6 +68,7 @@
 
 #include "batch_pairing.hpp"
 #include "common.hpp"
+#include "count_store.hpp"
 #include "engine.hpp"  // RunResult
 #include "population.hpp"
 #include "protocol.hpp"
@@ -90,13 +102,12 @@ public:
         require(n <= (std::uint64_t{1} << 32U),
                 "batched engine supports populations up to 2^32 agents");
         const StateId init = intern(protocol_.initial_state());
-        counts_[init] = n_;
-        make_live(init);
-        leader_count_ = index_.is_leader(init) ? n_ : 0;
+        store_.counts()[init] = n_;
+        store_.make_live(init);
+        leader_count_ = store_.index().is_leader(init) ? n_ : 0;
         initiators_.reserve(64);
         responders_.reserve(64);
         pairs_.cells.reserve(64);
-        touched_ids_.reserve(64);
     }
 
     // --- observation ------------------------------------------------------
@@ -116,22 +127,17 @@ public:
 
     /// Exact count of agents currently in state `s` (0 when never interned).
     [[nodiscard]] std::uint64_t count_of(const State& s) const {
-        const std::optional<StateId> id = index_.find(state_key_of(protocol_, s));
-        return id ? counts_[*id] : 0;
+        return store_.count_of(protocol_, s);
     }
 
     /// Number of distinct states with a non-zero count.
     [[nodiscard]] std::size_t live_state_count() const noexcept {
-        std::size_t live = 0;
-        for (const std::uint64_t c : counts_) live += c != 0 ? 1 : 0;
-        return live;
+        return store_.live_state_count();
     }
 
     /// Sum of all counts — the population size, by conservation.
     [[nodiscard]] std::uint64_t total_count() const noexcept {
-        std::uint64_t total = 0;
-        for (const std::uint64_t c : counts_) total += c;
-        return total;
+        return store_.total_count();
     }
 
     /// Visits every state with a non-zero count as (state, count, role) —
@@ -140,20 +146,12 @@ public:
     /// batch round has been merged back by then).
     template <typename Visitor>
     void visit_counts(Visitor&& visit) const {
-        for (StateId id = 0; id < counts_.size(); ++id) {
-            if (counts_[id] != 0) {
-                visit(index_.state(id), counts_[id], index_.role(id));
-            }
-        }
+        store_.visit_counts(visit);
     }
 
     /// Recomputes the leader count from the count vector (tests / checks).
     std::size_t recount_leaders() {
-        std::uint64_t leaders = 0;
-        for (StateId id = 0; id < counts_.size(); ++id) {
-            if (index_.is_leader(id)) leaders += counts_[id];
-        }
-        leader_count_ = leaders;
+        leader_count_ = store_.recount_leaders();
         return leader_count_;
     }
 
@@ -192,22 +190,7 @@ public:
 private:
     // --- interning --------------------------------------------------------
 
-    StateId intern(const State& s) {
-        const StateId id = index_.intern(protocol_, s);
-        if (index_.size() > counts_.size()) {
-            counts_.resize(index_.size(), 0);
-            touched_.resize(index_.size(), 0);
-            in_live_.resize(index_.size(), 0);
-        }
-        return id;
-    }
-
-    void make_live(StateId id) {
-        if (in_live_[id] == 0) {
-            in_live_[id] = 1;
-            live_ids_.push_back(id);
-        }
-    }
+    StateId intern(const State& s) { return store_.intern(protocol_, s); }
 
     /// Memoised transition lookup through the shared cache
     /// (transition_cache.hpp).
@@ -217,7 +200,7 @@ private:
     }
 
     CachedTransition compute_transition(StateId a, StateId b) {
-        return compute_cached_transition(protocol_, index_, a, b,
+        return compute_cached_transition(protocol_, store_.index(), a, b,
                                          [this](const State& s) { return intern(s); });
     }
 
@@ -234,7 +217,6 @@ private:
         const std::uint64_t fresh = with_collision ? run : budget;
 
         untouched_ = n_;
-        touched_total_ = 0;
 
         sample_fresh_pairs(fresh);
         apply_pairs(fresh);
@@ -243,7 +225,7 @@ private:
             collision_step();
             ++executed;
         }
-        merge_touched();
+        store_.merge_touched();
         return executed;
     }
 
@@ -256,16 +238,15 @@ private:
                          std::vector<std::pair<StateId, std::uint64_t>>& out,
                          bool compact) {
         out.clear();
+        std::vector<StateId>& live_ids = store_.live_ids();
+        std::vector<std::uint64_t>& counts = store_.counts();
         std::uint64_t pool = untouched_;
         std::size_t i = 0;
-        while (i < live_ids_.size()) {
-            const StateId id = live_ids_[i];
-            const std::uint64_t c = counts_[id];
+        while (i < live_ids.size()) {
+            const StateId id = live_ids[i];
+            const std::uint64_t c = counts[id];
             if (c == 0) {
-                if (compact) {
-                    in_live_[id] = 0;
-                    live_ids_[i] = live_ids_.back();
-                    live_ids_.pop_back();
+                if (compact && store_.drop_dead_at(i)) {
                     continue;  // revisit index i (swapped-in id)
                 }
                 ++i;
@@ -276,7 +257,7 @@ private:
             pool -= c;
             if (x > 0) {
                 out.emplace_back(id, x);
-                counts_[id] -= x;
+                counts[id] -= x;
                 untouched_ -= x;
                 k -= x;
             }
@@ -302,17 +283,35 @@ private:
     /// Applies every pair group of the batch through the transition cache;
     /// locates the exact stabilisation step when this batch crosses to one
     /// leader. O(#groups): cell count under bulk pairing, batch length under
-    /// pairwise.
+    /// pairwise. Rated protocols thin each group binomially first (the
+    /// thinned pairs met without reacting).
     void apply_pairs(std::uint64_t fresh) {
         const StepCount steps_before = steps_;
         std::int64_t delta_total = 0;
         bool role_changed = false;
+        if constexpr (RatedProtocol<P>) fired_mult_.clear();
         pairs_.for_each([&](StateId a, StateId b, std::uint64_t mult) {
             const CachedTransition& tr = transition(a, b);
-            touch(tr.out_a, mult);
-            touch(tr.out_b, mult);
+            std::uint64_t fired = mult;
+            if constexpr (RatedProtocol<P>) {
+                // Thinning only matters for non-null transitions (a thinned
+                // null is a null); skipping the draw there keeps unrated-like
+                // cells cheap and changes nothing in distribution.
+                if (tr.fire_weight < 1.0F && (tr.out_a != a || tr.out_b != b)) {
+                    fired = binomial(rng_, mult, static_cast<double>(tr.fire_weight));
+                }
+                fired_mult_.push_back(fired);
+                const std::uint64_t nulls = mult - fired;
+                if (nulls > 0) {  // met without reacting: states unchanged
+                    store_.touch(a, nulls);
+                    store_.touch(b, nulls);
+                }
+                if (fired == 0) return;
+            }
+            store_.touch(tr.out_a, fired);
+            store_.touch(tr.out_b, fired);
             delta_total += static_cast<std::int64_t>(tr.leader_delta) *
-                           static_cast<std::int64_t>(mult);
+                           static_cast<std::int64_t>(fired);
             role_changed |= tr.role_changed;
         });
         role_change_seen_ = role_change_seen_ || role_changed;
@@ -328,13 +327,23 @@ private:
     /// The batch's pairs are exchangeable — contingency cells no less than
     /// shuffled pairs — so the shared replay (`locate_leader_crossing`,
     /// transition_cache.hpp) localises the crossing from their expanded
-    /// leader deltas. Called at most once per run (single-leader is
+    /// leader deltas. Rated protocols expand each group as its fired count's
+    /// deltas plus zeros for the thinned pairs (null interactions occupy
+    /// step slots too). Called at most once per run (single-leader is
     /// absorbing).
     [[nodiscard]] std::uint64_t crossing_offset() {
         scratch_deltas_.clear();
+        std::size_t group = 0;
         pairs_.for_each([&](StateId a, StateId b, std::uint64_t mult) {
-            scratch_deltas_.insert(scratch_deltas_.end(), mult,
+            std::uint64_t fired = mult;
+            if constexpr (RatedProtocol<P>) {
+                fired = fired_mult_[group++];
+            } else {
+                (void)group;
+            }
+            scratch_deltas_.insert(scratch_deltas_.end(), fired,
                                    transition(a, b).leader_delta);
+            scratch_deltas_.insert(scratch_deltas_.end(), mult - fired, 0);
         });
         return locate_leader_crossing(scratch_deltas_, rng_, leader_count_);
     }
@@ -342,9 +351,10 @@ private:
     /// The interaction that ends the batch: at least one participant is an
     /// already-touched agent. Ordered-slot cases weighted t(t−1) : t(n−t)
     /// : (n−t)t; a touched slot samples a uniform touched agent (post-batch
-    /// state multiset), an untouched slot a uniform untouched agent.
+    /// state multiset), an untouched slot a uniform untouched agent. Rated
+    /// protocols thin the single interaction by one Bernoulli draw.
     void collision_step() {
-        const std::uint64_t t = touched_total_;
+        const std::uint64_t t = store_.touched_total();
         const std::uint64_t m = untouched_;
         const std::uint64_t w_both = t * (t - 1);
         const std::uint64_t w_mixed = t * m;
@@ -355,8 +365,18 @@ private:
         const StateId qa = a_touched ? take_touched() : take_untouched();
         const StateId qb = b_touched ? take_touched() : take_untouched();
         const CachedTransition& tr = transition(qa, qb);
-        touch(tr.out_a, 1);
-        touch(tr.out_b, 1);
+        if constexpr (RatedProtocol<P>) {
+            if (tr.fire_weight < 1.0F && (tr.out_a != qa || tr.out_b != qb) &&
+                uniform_unit(rng_) >= static_cast<double>(tr.fire_weight)) {
+                // Thinned: the pair met, nothing happened.
+                store_.touch(qa, 1);
+                store_.touch(qb, 1);
+                ++steps_;
+                return;
+            }
+        }
+        store_.touch(tr.out_a, 1);
+        store_.touch(tr.out_b, 1);
         role_change_seen_ = role_change_seen_ || tr.role_changed;
         leader_count_ = static_cast<std::size_t>(
             static_cast<std::int64_t>(leader_count_) + tr.leader_delta);
@@ -366,22 +386,15 @@ private:
         }
     }
 
-    // --- touched-multiset bookkeeping --------------------------------------
-
-    void touch(StateId id, std::uint64_t mult) {
-        if (touched_[id] == 0) touched_ids_.push_back(id);
-        touched_[id] += mult;
-        touched_total_ += mult;
-    }
+    // --- touched-multiset draws --------------------------------------------
 
     /// Removes and returns a uniformly random touched agent's state.
     [[nodiscard]] StateId take_touched() {
-        std::uint64_t r = uniform_below(rng_, touched_total_);
-        for (const StateId id : touched_ids_) {
-            const std::uint64_t c = touched_[id];
+        std::uint64_t r = uniform_below(rng_, store_.touched_total());
+        for (const StateId id : store_.touched_ids()) {
+            const std::uint64_t c = store_.touched()[id];
             if (r < c) {
-                touched_[id] -= 1;
-                touched_total_ -= 1;
+                store_.untouch_one(id);
                 return id;
             }
             r -= c;
@@ -393,10 +406,10 @@ private:
     /// Removes and returns a uniformly random untouched agent's state.
     [[nodiscard]] StateId take_untouched() {
         std::uint64_t r = uniform_below(rng_, untouched_);
-        for (const StateId id : live_ids_) {
-            const std::uint64_t c = counts_[id];
+        for (const StateId id : store_.live_ids()) {
+            const std::uint64_t c = store_.counts()[id];
             if (r < c) {
-                counts_[id] -= 1;
+                store_.counts()[id] -= 1;
                 untouched_ -= 1;
                 return id;
             }
@@ -404,17 +417,6 @@ private:
         }
         ensure(false, "untouched count sampling ran past its total");
         return 0;
-    }
-
-    /// Folds the touched agents back into the global count vector.
-    void merge_touched() {
-        for (const StateId id : touched_ids_) {
-            counts_[id] += touched_[id];
-            touched_[id] = 0;
-            make_live(id);
-        }
-        touched_ids_.clear();
-        touched_total_ = 0;
     }
 
     [[nodiscard]] RunResult make_result(bool converged) const noexcept {
@@ -431,19 +433,14 @@ private:
     std::size_t n_;
     Rng rng_;
     CollisionRunSampler run_sampler_;
-    StateIndex<P> index_;
-    std::vector<std::uint64_t> counts_;   ///< agents per state id (untouched during a round)
-    std::vector<std::uint64_t> touched_;  ///< post-batch states of this round's touched agents
-    std::vector<StateId> touched_ids_;    ///< ids with touched_[id] > 0
-    std::vector<StateId> live_ids_;       ///< ids that may have counts_[id] > 0
-    std::vector<std::uint8_t> in_live_;   ///< membership flags for live_ids_
-    std::uint64_t touched_total_ = 0;
+    InternedCountStore<P> store_;  ///< counts + live list + touched multiset
     std::uint64_t untouched_ = 0;
     TransitionCache cache_;
     BatchMode batch_mode_ = BatchMode::automatic;
     StateMultiset initiators_;
     StateMultiset responders_;
     BatchPairs pairs_;
+    std::vector<std::uint64_t> fired_mult_;  ///< per-group fired count (rated only)
     std::vector<std::int8_t> scratch_deltas_;
     StepCount steps_ = 0;
     std::size_t leader_count_ = 0;

@@ -112,6 +112,15 @@ struct RunResult {
 };
 
 /// Simulation engine for a statically-typed protocol.
+///
+/// Rate-annotated protocols (RatedProtocol, protocol.hpp) are honoured by
+/// per-step rejection thinning: after the scheduler draws a pair, the
+/// transition fires with probability rate(a, b)/max_rate() — otherwise the
+/// step is a null interaction (it still counts as a step, exactly as in the
+/// count-based engines). The thinning draws come from a dedicated stream so
+/// unrated protocols' seeded schedules are untouched. Hand-driven
+/// `apply(Interaction)` calls (replay, adversary tests) are *not* thinned:
+/// they apply the transition the caller asked for.
 template <Protocol P>
 class Engine {
 public:
@@ -122,7 +131,8 @@ public:
     Engine(P protocol, std::size_t n, std::uint64_t seed)
         : protocol_(std::move(protocol)),
           population_(n, protocol_.initial_state()),
-          scheduler_(n, seed) {
+          scheduler_(n, seed),
+          thin_rng_(derive_seed(seed, 0x7468696eULL)) {  // "thin"
         recount_leaders();
     }
 
@@ -149,9 +159,16 @@ public:
     // --- execution --------------------------------------------------------
 
     /// Executes one interaction drawn from the internal random scheduler and
-    /// returns the pair that interacted.
+    /// returns the pair that interacted. For rated protocols the step may be
+    /// thinned to a null interaction (the pair met, nothing happened).
     Interaction step() {
         const Interaction interaction = scheduler_.next();
+        if constexpr (RatedProtocol<P>) {
+            if (!fires(interaction)) {
+                ++steps_;  // a null interaction occupies its step slot
+                return interaction;
+            }
+        }
         apply(interaction);
         return interaction;
     }
@@ -216,6 +233,12 @@ public:
         bool changed = false;
         for (StepCount i = 0; i < count; ++i) {
             const Interaction interaction = scheduler_.next();
+            if constexpr (RatedProtocol<P>) {
+                if (!fires(interaction)) {  // thinned: outputs cannot change
+                    ++steps_;
+                    continue;
+                }
+            }
             const Role a_before = role_of(interaction.initiator);
             const Role b_before = role_of(interaction.responder);
             apply(interaction);
@@ -239,6 +262,17 @@ public:
     [[nodiscard]] UniformScheduler& scheduler() noexcept { return scheduler_; }
 
 private:
+    /// Rejection-thinning draw: does the scheduled pair's transition fire?
+    /// (Instantiated for rated protocols only.)
+    [[nodiscard]] bool fires(const Interaction& interaction) {
+        const State& a = population_[interaction.initiator];
+        const State& b = population_[interaction.responder];
+        const double rate = pair_rate_of(protocol_, a, b);
+        const double rmax = max_rate_of(protocol_);
+        if (rate >= rmax) return true;
+        return uniform_unit(thin_rng_) * rmax < rate;
+    }
+
     [[nodiscard]] int roles_as_int(const State& a, const State& b) const noexcept {
         return static_cast<int>(protocol_.output(a) == Role::leader) +
                static_cast<int>(protocol_.output(b) == Role::leader);
@@ -257,6 +291,7 @@ private:
     P protocol_;
     Population<State> population_;
     UniformScheduler scheduler_;
+    Rng thin_rng_;  ///< rate-thinning stream (only drawn from by rated protocols)
     StepCount steps_ = 0;
     std::size_t leader_count_ = 0;
     std::optional<StepCount> first_single_leader_step_;

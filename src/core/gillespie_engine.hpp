@@ -43,6 +43,16 @@
 ///    per pair). Statistical agreement with the exact engines is enforced
 ///    by the KS harness in tests/test_statistical.cpp.
 ///
+/// **Rate-annotated protocols** (RatedProtocol, protocol.hpp) are this
+/// engine's native habitat: a channel's propensity simply becomes
+/// c_a·(c_b − [a = b])·rate(a, b)/max_rate — the geometric null-skip then
+/// jumps both null *transitions* and rate-thinned steps at once, and the
+/// categorical draw picks among non-null channels by their rated weights.
+/// No rejection loop: rates enter the weights directly (exact for the
+/// thinned chain defined in protocol.hpp). The τ-leap path thins each cell
+/// binomially, identical in distribution to the batched engine's thinning.
+/// Unrated protocols keep the integer-weight hot path bit-for-bit.
+///
 /// The paths compose automatically: leaping needs n ≥ `leap_min_population`
 /// (below that the engine is *exact* — the configuration is one of the two
 /// SSA forms), and when the enumerated channels show fewer than
@@ -62,11 +72,13 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "batch_pairing.hpp"
 #include "common.hpp"
+#include "count_store.hpp"
 #include "engine.hpp"  // RunResult
 #include "protocol.hpp"
 #include "random.hpp"
@@ -74,6 +86,15 @@
 #include "transition_cache.hpp"
 
 namespace ppsim {
+
+/// One row of the exact-SSA firing tally (test introspection): an ordered
+/// channel identified by the canonical state keys of its input pair, and
+/// how many times it fired. See GillespieEngine::enable_channel_tally.
+struct ChannelFiredCount {
+    std::uint64_t initiator_key = 0;
+    std::uint64_t responder_key = 0;
+    std::uint64_t fired = 0;
+};
 
 /// Reaction-rate (Gillespie SSA + τ-leaping) simulation engine. Drop-in
 /// alternative to Engine<P> / BatchedEngine<P> for the run/verify surface
@@ -114,13 +135,12 @@ public:
         require(n <= (std::uint64_t{1} << 32U),
                 "gillespie engine supports populations up to 2^32 agents");
         const StateId init = intern(protocol_.initial_state());
-        counts_[init] = n_;
-        make_live(init);
-        leader_count_ = index_.is_leader(init) ? n_ : 0;
+        store_.counts()[init] = n_;
+        store_.make_live(init);
+        leader_count_ = store_.index().is_leader(init) ? n_ : 0;
         initiators_.reserve(64);
         responders_.reserve(64);
         pairs_.cells.reserve(64);
-        touched_ids_.reserve(64);
         channels_.reserve(64);
     }
 
@@ -139,22 +159,17 @@ public:
 
     /// Exact count of agents currently in state `s` (0 when never interned).
     [[nodiscard]] std::uint64_t count_of(const State& s) const {
-        const std::optional<StateId> id = index_.find(state_key_of(protocol_, s));
-        return id ? counts_[*id] : 0;
+        return store_.count_of(protocol_, s);
     }
 
     /// Number of distinct states with a non-zero count.
     [[nodiscard]] std::size_t live_state_count() const noexcept {
-        std::size_t live = 0;
-        for (const std::uint64_t c : counts_) live += c != 0 ? 1 : 0;
-        return live;
+        return store_.live_state_count();
     }
 
     /// Sum of all counts — the population size, by conservation.
     [[nodiscard]] std::uint64_t total_count() const noexcept {
-        std::uint64_t total = 0;
-        for (const std::uint64_t c : counts_) total += c;
-        return total;
+        return store_.total_count();
     }
 
     /// τ-leaps executed so far (introspection for tests and benches).
@@ -165,24 +180,47 @@ public:
     /// its own leaping error (0 whenever the engine never leaped).
     [[nodiscard]] std::uint64_t dropped_pairs() const noexcept { return dropped_pairs_; }
 
+    /// Test introspection: start counting exact-SSA firings per ordered
+    /// channel (one branch per non-null event while enabled; τ-leap cells
+    /// are not tallied — use small n so the engine stays on the SSA paths).
+    /// The sampler-marginal chi-square tests compare the tally against the
+    /// propensity ratios c_a·(c_b − [a = b])·rate(a, b).
+    void enable_channel_tally() noexcept { tally_enabled_ = true; }
+
+    /// Clears the tally (e.g. after a warm-up phase).
+    void clear_channel_tally() { tally_.clear(); }
+
+    /// The firing tally as (initiator key, responder key, fired) rows,
+    /// sorted by key pair for deterministic comparison.
+    [[nodiscard]] std::vector<ChannelFiredCount> channel_tally() const {
+        std::vector<ChannelFiredCount> out;
+        out.reserve(tally_.size());
+        for (const auto& [packed, fired] : tally_) {
+            const auto a = static_cast<StateId>(packed >> 32U);
+            const auto b = static_cast<StateId>(packed & 0xFFFFFFFFULL);
+            out.push_back(ChannelFiredCount{
+                state_key_of(protocol_, store_.index().state(a)),
+                state_key_of(protocol_, store_.index().state(b)), fired});
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const ChannelFiredCount& x, const ChannelFiredCount& y) {
+                      return x.initiator_key != y.initiator_key
+                                 ? x.initiator_key < y.initiator_key
+                                 : x.responder_key < y.responder_key;
+                  });
+        return out;
+    }
+
     /// Visits every state with a non-zero count as (state, count, role) —
     /// O(#states) regardless of n; only valid between public calls.
     template <typename Visitor>
     void visit_counts(Visitor&& visit) const {
-        for (StateId id = 0; id < counts_.size(); ++id) {
-            if (counts_[id] != 0) {
-                visit(index_.state(id), counts_[id], index_.role(id));
-            }
-        }
+        store_.visit_counts(visit);
     }
 
     /// Recomputes the leader count from the count vector (tests / checks).
     std::size_t recount_leaders() {
-        std::uint64_t leaders = 0;
-        for (StateId id = 0; id < counts_.size(); ++id) {
-            if (index_.is_leader(id)) leaders += counts_[id];
-        }
-        leader_count_ = leaders;
+        leader_count_ = store_.recount_leaders();
         return leader_count_;
     }
 
@@ -225,47 +263,21 @@ public:
 
 private:
     /// One non-null reaction channel: the ordered state pair and its current
-    /// propensity weight c_a·(c_b − [a = b]). The transition itself is
-    /// re-read from the cache at firing time (the cache may reallocate).
+    /// propensity weight. `weight` is the structural part c_a·(c_b − [a = b])
+    /// (always integral); rated protocols scale it by the memoised firing
+    /// probability into `rated_weight` and draw against the scaled weights.
+    /// The transition itself is re-read from the cache at firing time (the
+    /// cache may reallocate).
     struct Channel {
         StateId a;
         StateId b;
         std::uint64_t weight;
+        double rated_weight;
     };
 
     // --- interning --------------------------------------------------------
 
-    StateId intern(const State& s) {
-        const StateId id = index_.intern(protocol_, s);
-        if (index_.size() > counts_.size()) {
-            counts_.resize(index_.size(), 0);
-            touched_.resize(index_.size(), 0);
-            in_live_.resize(index_.size(), 0);
-        }
-        return id;
-    }
-
-    void make_live(StateId id) {
-        if (in_live_[id] == 0) {
-            in_live_[id] = 1;
-            live_ids_.push_back(id);
-        }
-    }
-
-    /// Drops dead ids from the live list (legal between rounds only).
-    void compact_live() {
-        std::size_t i = 0;
-        while (i < live_ids_.size()) {
-            const StateId id = live_ids_[i];
-            if (counts_[id] == 0) {
-                in_live_[id] = 0;
-                live_ids_[i] = live_ids_.back();
-                live_ids_.pop_back();
-                continue;  // revisit index i (swapped-in id)
-            }
-            ++i;
-        }
-    }
+    StateId intern(const State& s) { return store_.intern(protocol_, s); }
 
     /// Memoised transition lookup through the shared cache
     /// (transition_cache.hpp).
@@ -275,7 +287,7 @@ private:
     }
 
     CachedTransition compute_transition(StateId a, StateId b) {
-        return compute_cached_transition(protocol_, index_, a, b,
+        return compute_cached_transition(protocol_, store_.index(), a, b,
                                          [this](const State& s) { return intern(s); });
     }
 
@@ -286,13 +298,13 @@ private:
     /// budget ≥ 1).
     StepCount round(StepCount budget, bool stop_at_single_leader) {
         if (budget == 0) return 0;
-        compact_live();
-        const std::size_t d = live_ids_.size();
+        store_.compact_live();
+        const std::size_t d = store_.live_ids().size();
         const StepCount leap_len =
             std::min<StepCount>(budget, std::max<std::uint64_t>(1, n_ / leap_divisor));
         if (d <= channel_state_cap) {
             build_channels();
-            if (w_nonnull_ == 0) {  // dead configuration: every channel null
+            if (total_nonnull_weight() == 0.0) {  // dead: every channel null
                 steps_ += budget;
                 return budget;
             }
@@ -306,12 +318,22 @@ private:
                                  stop_at_single_leader);
     }
 
+    /// The summed non-null channel weight on whichever scale the protocol
+    /// uses (integer structural weights, or rate-scaled ones).
+    [[nodiscard]] double total_nonnull_weight() const noexcept {
+        if constexpr (RatedProtocol<P>) {
+            return w_rated_;
+        } else {
+            return static_cast<double>(w_nonnull_);
+        }
+    }
+
     /// Expected non-null firings over a leap of `len` steps under the
     /// enumerated channel weights.
     [[nodiscard]] double expected_firings(StepCount len) const noexcept {
         const double w_total =
             static_cast<double>(n_) * (static_cast<double>(n_) - 1.0);
-        return static_cast<double>(len) * static_cast<double>(w_nonnull_) / w_total;
+        return static_cast<double>(len) * total_nonnull_weight() / w_total;
     }
 
     // --- exact SSA, enumerated channels -----------------------------------
@@ -321,43 +343,69 @@ private:
     void build_channels() {
         channels_.clear();
         w_nonnull_ = 0;
-        for (const StateId a : live_ids_) {
-            const std::uint64_t ca = counts_[a];
-            for (const StateId b : live_ids_) {
-                const std::uint64_t weight = a == b ? ca * (ca - 1) : ca * counts_[b];
+        w_rated_ = 0.0;
+        const std::vector<std::uint64_t>& counts = store_.counts();
+        for (const StateId a : store_.live_ids()) {
+            const std::uint64_t ca = counts[a];
+            for (const StateId b : store_.live_ids()) {
+                const std::uint64_t weight = a == b ? ca * (ca - 1) : ca * counts[b];
                 if (weight == 0) continue;
                 const CachedTransition& tr = transition(a, b);
                 if (tr.out_a == a && tr.out_b == b) continue;  // null reaction
-                channels_.push_back(Channel{a, b, weight});
-                w_nonnull_ += weight;
+                if constexpr (RatedProtocol<P>) {
+                    const double rated =
+                        static_cast<double>(weight) * static_cast<double>(tr.fire_weight);
+                    if (rated <= 0.0) continue;  // rate-zero channel never fires
+                    channels_.push_back(Channel{a, b, weight, rated});
+                    w_rated_ += rated;
+                } else {
+                    channels_.push_back(Channel{a, b, weight, 0.0});
+                    w_nonnull_ += weight;
+                }
             }
         }
     }
 
     /// One exact SSA event: a geometric draw skips every null step up to the
     /// next non-null firing; if that firing lies beyond the budget the round
-    /// consumes the budget as nulls (exact: geometric memorylessness).
+    /// consumes the budget as nulls (exact: geometric memorylessness). For
+    /// rated protocols the skip probability and the categorical draw use the
+    /// rate-scaled weights — thinned steps are nulls, skipped for free.
     StepCount enumerated_ssa_event(StepCount budget) {
         const double w_total =
             static_cast<double>(n_) * (static_cast<double>(n_) - 1.0);
-        const double p = static_cast<double>(w_nonnull_) / w_total;
+        const double p = total_nonnull_weight() / w_total;
         const StepCount gap = geometric(rng_, p);
         if (gap > budget) {  // the next reaction lies beyond this round
             steps_ += budget;
             return budget;
         }
         steps_ += gap;
-        std::uint64_t r = uniform_below(rng_, w_nonnull_);
         const Channel* fired = nullptr;
-        for (const Channel& ch : channels_) {
-            if (r < ch.weight) {
-                fired = &ch;
-                break;
+        if constexpr (RatedProtocol<P>) {
+            double r = uniform_unit(rng_) * w_rated_;
+            for (const Channel& ch : channels_) {
+                if (r < ch.rated_weight) {
+                    fired = &ch;
+                    break;
+                }
+                r -= ch.rated_weight;
             }
-            r -= ch.weight;
-        }
-        if (fired == nullptr) [[unlikely]] {
-            ensure(false, "SSA channel draw ran past the total weight");
+            // Floating-point rounding can walk the scan past the total;
+            // the mass belongs to the last channel.
+            if (fired == nullptr) fired = &channels_.back();
+        } else {
+            std::uint64_t r = uniform_below(rng_, w_nonnull_);
+            for (const Channel& ch : channels_) {
+                if (r < ch.weight) {
+                    fired = &ch;
+                    break;
+                }
+                r -= ch.weight;
+            }
+            if (fired == nullptr) [[unlikely]] {
+                ensure(false, "SSA channel draw ran past the total weight");
+            }
         }
         const StateId a = fired->a;
         const StateId b = fired->b;
@@ -371,7 +419,9 @@ private:
 
     /// Exact per-step form for configurations too wide to enumerate: the
     /// initiator is a categorical draw over the counts, the responder over
-    /// the remaining n−1 agents. O(d) per step; cannot skip nulls.
+    /// the remaining n−1 agents. O(d) per step; cannot skip nulls. Rated
+    /// protocols thin each non-null pick by one Bernoulli draw against the
+    /// memoised firing probability.
     StepCount categorical_steps(StepCount chunk, bool stop_at_single_leader) {
         StepCount executed = 0;
         while (executed < chunk) {
@@ -381,6 +431,12 @@ private:
             ++steps_;
             ++executed;
             if (tr.out_a != a || tr.out_b != b) {
+                if constexpr (RatedProtocol<P>) {
+                    if (tr.fire_weight < 1.0F &&
+                        uniform_unit(rng_) >= static_cast<double>(tr.fire_weight)) {
+                        continue;  // thinned: the pair met, nothing happened
+                    }
+                }
                 apply_single(a, b, tr);
                 ++exact_events_;
                 if (stop_at_single_leader && leader_count_ == 1) break;
@@ -393,8 +449,9 @@ private:
     /// agent of `exclude` removed from the mass (the already-picked
     /// initiator; pass invalid_state_id to draw over the full population).
     [[nodiscard]] StateId draw_categorical(std::uint64_t r, StateId exclude) const {
-        for (const StateId id : live_ids_) {
-            const std::uint64_t c = counts_[id] - (id == exclude ? 1 : 0);
+        const std::vector<std::uint64_t>& counts = store_.counts();
+        for (const StateId id : store_.live_ids()) {
+            const std::uint64_t c = counts[id] - (id == exclude ? 1 : 0);
             if (r < c) return id;
             r -= c;
         }
@@ -407,12 +464,16 @@ private:
     /// stabilisation-step recording. Callers guarantee availability (the
     /// channel weight was positive).
     void apply_single(StateId a, StateId b, const CachedTransition& tr) {
-        --counts_[a];
-        --counts_[b];
-        ++counts_[tr.out_a];
-        ++counts_[tr.out_b];
-        make_live(tr.out_a);
-        make_live(tr.out_b);
+        if (tally_enabled_) [[unlikely]] {
+            ++tally_[(static_cast<std::uint64_t>(a) << 32U) | b];
+        }
+        std::vector<std::uint64_t>& counts = store_.counts();
+        --counts[a];
+        --counts[b];
+        ++counts[tr.out_a];
+        ++counts[tr.out_b];
+        store_.make_live(tr.out_a);
+        store_.make_live(tr.out_b);
         role_change_seen_ = role_change_seen_ || tr.role_changed;
         leader_count_ = static_cast<std::size_t>(
             static_cast<std::int64_t>(leader_count_) + tr.leader_delta);
@@ -425,7 +486,9 @@ private:
 
     /// Advances `len` steps with propensities frozen at the current counts:
     /// multinomial initiator/responder multisets, a uniform pairing through
-    /// the batch-pairing layer, and clamped per-cell application.
+    /// the batch-pairing layer, and clamped per-cell application (plus a
+    /// binomial thinning per cell for rated protocols, identical in
+    /// distribution to the batched engine's thinning).
     StepCount leap_round(StepCount len) {
         const StepCount steps_before = steps_;
         sample_leap_multiset(len, initiators_);
@@ -433,6 +496,7 @@ private:
         sample_batch_pairing(BatchMode::automatic, rng_, initiators_, responders_, len,
                              pairs_);
 
+        std::vector<std::uint64_t>& counts = store_.counts();
         applied_mult_.clear();
         std::int64_t delta_total = 0;
         bool role_changed = false;
@@ -443,17 +507,24 @@ private:
             // pairs are dropped as nulls (counted, and rare by the leap
             // bound — states with counts ≫ n/leap_divisor never clamp).
             const std::uint64_t avail =
-                a == b ? counts_[a] / 2 : std::min(counts_[a], counts_[b]);
-            const std::uint64_t m = std::min(mult, avail);
-            applied_mult_.push_back(static_cast<std::uint32_t>(m));
+                a == b ? counts[a] / 2 : std::min(counts[a], counts[b]);
+            std::uint64_t m = std::min(mult, avail);
             dropped += mult - m;
-            if (m == 0) return;
             const CachedTransition tr = transition(a, b);  // copy: cache may grow
+            if constexpr (RatedProtocol<P>) {
+                // Rate thinning: only m' ~ Binomial(m, rate/max_rate) of the
+                // scheduled pairs react; the rest met without reacting.
+                if (m > 0 && tr.fire_weight < 1.0F && (tr.out_a != a || tr.out_b != b)) {
+                    m = binomial(rng_, m, static_cast<double>(tr.fire_weight));
+                }
+            }
+            applied_mult_.push_back(static_cast<std::uint32_t>(m));
+            if (m == 0) return;
             if (a == b) {
-                counts_[a] -= 2 * m;
+                counts[a] -= 2 * m;
             } else {
-                counts_[a] -= m;
-                counts_[b] -= m;
+                counts[a] -= m;
+                counts[b] -= m;
             }
             touch(tr.out_a, m);
             touch(tr.out_b, m);
@@ -470,7 +541,7 @@ private:
             first_single_leader_step_ = steps_before + leap_crossing_offset();
         }
         leader_count_ = post;
-        merge_touched();
+        store_.merge_touched();
         ++leaps_;
         return len;
     }
@@ -483,10 +554,11 @@ private:
     /// out-array cannot express. Mirror changes across both chains.
     void sample_leap_multiset(std::uint64_t len, StateMultiset& out) {
         out.clear();
+        const std::vector<std::uint64_t>& counts = store_.counts();
         std::uint64_t pool = n_;
         std::uint64_t remaining = len;
-        for (const StateId id : live_ids_) {
-            const std::uint64_t c = counts_[id];
+        for (const StateId id : store_.live_ids()) {
+            const std::uint64_t c = counts[id];
             if (c == 0) continue;
             if (remaining == 0) break;
             const std::uint64_t x =
@@ -504,8 +576,8 @@ private:
 
     /// Locates the crossing interaction inside a leap that reached a single
     /// leader via the shared exchangeability replay (`locate_leader_crossing`,
-    /// transition_cache.hpp): applied pairs contribute their leader deltas,
-    /// dropped pairs zeros. Called at most once per run.
+    /// transition_cache.hpp): applied pairs contribute their leader deltas;
+    /// dropped and rate-thinned pairs zeros. Called at most once per run.
     [[nodiscard]] std::uint64_t leap_crossing_offset() {
         scratch_deltas_.clear();
         std::size_t group = 0;
@@ -520,23 +592,10 @@ private:
 
     // --- pending-output bookkeeping ----------------------------------------
 
-    /// Outputs produced within a leap accumulate in a side buffer so they
-    /// are never re-consumed by later cells of the same leap (they were not
-    /// part of the frozen pre-leap counts).
-    void touch(StateId id, std::uint64_t mult) {
-        if (touched_[id] == 0) touched_ids_.push_back(id);
-        touched_[id] += mult;
-    }
-
-    /// Folds the leap's outputs back into the global count vector.
-    void merge_touched() {
-        for (const StateId id : touched_ids_) {
-            counts_[id] += touched_[id];
-            touched_[id] = 0;
-            make_live(id);
-        }
-        touched_ids_.clear();
-    }
+    /// Outputs produced within a leap accumulate in the store's touched
+    /// multiset so they are never re-consumed by later cells of the same
+    /// leap (they were not part of the frozen pre-leap counts).
+    void touch(StateId id, std::uint64_t mult) { store_.touch(id, mult); }
 
     [[nodiscard]] RunResult make_result(bool converged) const noexcept {
         RunResult r;
@@ -551,15 +610,11 @@ private:
     P protocol_;
     std::size_t n_;
     Rng rng_;
-    StateIndex<P> index_;
-    std::vector<std::uint64_t> counts_;   ///< agents per state id
-    std::vector<std::uint64_t> touched_;  ///< in-flight leap outputs per state id
-    std::vector<StateId> touched_ids_;    ///< ids with touched_[id] > 0
-    std::vector<StateId> live_ids_;       ///< ids that may have counts_[id] > 0
-    std::vector<std::uint8_t> in_live_;   ///< membership flags for live_ids_
+    InternedCountStore<P> store_;  ///< counts + live list + touched multiset
     TransitionCache cache_;
     std::vector<Channel> channels_;       ///< non-null channels (rebuilt per SSA event)
-    std::uint64_t w_nonnull_ = 0;         ///< Σ weights of channels_
+    std::uint64_t w_nonnull_ = 0;         ///< Σ weights of channels_ (unrated)
+    double w_rated_ = 0.0;                ///< Σ rated weights of channels_ (rated)
     StateMultiset initiators_;
     StateMultiset responders_;
     BatchPairs pairs_;
@@ -572,6 +627,8 @@ private:
     std::uint64_t leaps_ = 0;
     std::uint64_t exact_events_ = 0;
     std::uint64_t dropped_pairs_ = 0;
+    bool tally_enabled_ = false;
+    std::unordered_map<std::uint64_t, std::uint64_t> tally_;  ///< packed id pair → fired
 };
 
 /// Convenience mirror of simulate_to_single_leader for the Gillespie engine.

@@ -1,7 +1,9 @@
 #include "observer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <ostream>
 
 namespace ppsim {
@@ -144,6 +146,128 @@ std::optional<StepCount> ConvergenceObserver::first_step_at_or_below(
         if (thresholds_[i] == threshold) return reached_[i];
     }
     return std::nullopt;
+}
+
+// --- DeadlineObserver -------------------------------------------------------
+
+namespace {
+
+/// ⌈time · n⌉ as a step index, saturating near the StepCount ceiling.
+[[nodiscard]] StepCount model_time_to_step(double time, std::size_t n) {
+    require(time >= 0.0, "model-time point must be non-negative");
+    const double steps = std::ceil(time * static_cast<double>(n));
+    if (steps >= 1.8e19) return std::numeric_limits<StepCount>::max();
+    return static_cast<StepCount>(steps);
+}
+
+}  // namespace
+
+DeadlineObserver::DeadlineObserver(double model_time, std::size_t n)
+    : DeadlineObserver(model_time_to_step(model_time, n)) {}
+
+DeadlineObserver::DeadlineObserver(StepCount deadline_step) : deadline_(deadline_step) {}
+
+DeadlineObserver DeadlineObserver::at_step(StepCount step) {
+    return DeadlineObserver(step);
+}
+
+StepCount DeadlineObserver::next_due() const noexcept {
+    return report_ ? no_deadline : deadline_;
+}
+
+void DeadlineObserver::record(const Simulation& sim, bool reached) {
+    DeadlineReport report;
+    report.step = sim.steps();
+    report.parallel_time = sim.parallel_time();
+    report.leader_count = sim.leader_count();
+    report.live_states = sim.live_state_count();
+    report.reached_deadline = reached;
+    const std::optional<StepCount> stab = sim.stabilization_step();
+    report.stabilized = stab.has_value() && *stab <= sim.steps();
+    report_ = report;
+}
+
+void DeadlineObserver::observe(const Simulation& sim) {
+    if (!report_ && sim.steps() >= deadline_) record(sim, /*reached=*/true);
+}
+
+void DeadlineObserver::finish(const Simulation& sim) {
+    // The run ended (stabilised or exhausted its budget) before the
+    // deadline: the end-of-run configuration is the deadline view for
+    // absorbing protocols. reached_deadline = false flags the distinction.
+    if (!report_) record(sim, /*reached=*/false);
+}
+
+// --- TimedSnapshotRecorder --------------------------------------------------
+
+TimedSnapshotRecorder::TimedSnapshotRecorder(std::vector<double> times, std::size_t n) {
+    require(!times.empty(), "timed snapshot recorder needs at least one time point");
+    std::sort(times.begin(), times.end());
+    snapshots_.reserve(times.size());
+    for (const double t : times) {
+        TimedSnapshot entry;
+        entry.requested_time = t;
+        entry.target_step = model_time_to_step(t, n);
+        snapshots_.push_back(std::move(entry));
+    }
+}
+
+StepCount TimedSnapshotRecorder::next_due() const noexcept {
+    return captured_ < snapshots_.size() ? snapshots_[captured_].target_step
+                                         : no_deadline;
+}
+
+void TimedSnapshotRecorder::observe(const Simulation& sim) {
+    while (captured_ < snapshots_.size() &&
+           sim.steps() >= snapshots_[captured_].target_step) {
+        TimedSnapshot& entry = snapshots_[captured_];
+        // Consecutive points collapsing to the same step share one census.
+        if (captured_ > 0 && snapshots_[captured_ - 1].reached &&
+            snapshots_[captured_ - 1].snapshot.step == sim.steps()) {
+            entry.snapshot = snapshots_[captured_ - 1].snapshot;
+        } else {
+            entry.snapshot = sim.state_counts();
+        }
+        entry.reached = true;
+        ++captured_;
+    }
+}
+
+void TimedSnapshotRecorder::finish(const Simulation& sim) {
+    observe(sim);
+    if (captured_ == snapshots_.size()) return;
+    // Unreached points inherit the end-of-run configuration (the deadline
+    // view for absorbing protocols), marked reached = false.
+    const ConfigurationSnapshot final_census = sim.state_counts();
+    while (captured_ < snapshots_.size()) {
+        snapshots_[captured_].snapshot = final_census;
+        snapshots_[captured_].reached = false;
+        ++captured_;
+    }
+}
+
+void TimedSnapshotRecorder::write_csv(std::ostream& out) const {
+    write_timed_snapshots_csv(out, snapshots_);
+}
+
+void write_timed_snapshots_csv(std::ostream& out,
+                               const std::vector<TimedSnapshot>& snapshots) {
+    out << "requested_time,step,state_key,count,role\n";
+    for (const TimedSnapshot& entry : snapshots) {
+        for (const StateCount& sc : entry.snapshot.counts) {
+            out << entry.requested_time << ',' << entry.snapshot.step << ',' << sc.key
+                << ',' << sc.count << ',' << to_string(sc.role) << '\n';
+        }
+    }
+}
+
+void write_timed_snapshots_csv(const std::string& path,
+                               const std::vector<TimedSnapshot>& snapshots) {
+    std::ofstream out(path);
+    require(out.good(), "cannot open snapshot file for writing: " + path);
+    write_timed_snapshots_csv(out, snapshots);
+    out.flush();
+    require(out.good(), "failed writing snapshot file: " + path);
 }
 
 }  // namespace ppsim

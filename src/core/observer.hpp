@@ -1,9 +1,18 @@
 /// \file observer.hpp
 /// \brief Concrete simulation observers: leader-count/state-count trajectory
-/// recording, periodic full-configuration snapshots, and convergence
-/// milestone tracking. All of them observe at a step cadence the caller
-/// picks, through the chunked run loop in simulation.hpp — never inside the
-/// engines' per-interaction hot paths.
+/// recording, periodic full-configuration snapshots, convergence milestone
+/// tracking, and time-driven observation (a one-shot model-time deadline and
+/// snapshots at a list of model-time points). All of them observe at step
+/// boundaries the caller picks, through the chunked run loop in
+/// simulation.hpp — never inside the engines' per-interaction hot paths.
+///
+/// **Model time.** The time-driven observers take their points in parallel
+/// time (the paper's unit: steps / n) and convert them to absolute step
+/// indices at construction — one unit of model time is n interactions.
+/// Because the run layer slices the step budget exactly at observer
+/// deadlines and every engine clamps its rounds to the requested chunk
+/// (batches, leaps and geometric skips included), a time-driven observer
+/// sees the configuration at *exactly* its deadline step, on every engine.
 #pragma once
 
 #include <cstdint>
@@ -127,5 +136,111 @@ private:
     StepCount stride_;
     StepCount next_ = 0;
 };
+
+/// What a DeadlineObserver saw. Exactly one report is produced per run:
+/// at the deadline step when the run got there, or at run end when the run
+/// finished first (`reached_deadline` distinguishes the two — for absorbing
+/// protocols a run that stabilised before the deadline holds its final
+/// configuration through it, so the end-of-run census *is* the deadline
+/// view).
+struct DeadlineReport {
+    StepCount step = 0;             ///< interactions executed at the report
+    double parallel_time = 0.0;     ///< step / n
+    std::size_t leader_count = 0;   ///< leaders at the report
+    std::size_t live_states = 0;    ///< distinct occupied states
+    bool reached_deadline = false;  ///< the run reached the deadline step
+    bool stabilized = false;        ///< single leader at/before the report
+};
+
+/// One-shot observer answering "what did the population look like at model
+/// time T?": fires exactly once, at the first run boundary at or past step
+/// ⌈T·n⌉ (= exactly that step under the run layer's deadline slicing), and
+/// records a DeadlineReport. A deadline of 0 reports the initial
+/// configuration, before any interaction. If the run ends first
+/// (stabilisation or budget), `finish` records the end-of-run state with
+/// `reached_deadline = false`. The CLI flag `ppsim_sim --deadline` and
+/// `SweepConfig::deadline_time` build on this observer.
+class DeadlineObserver final : public SimulationObserver {
+public:
+    /// Deadline at model time `model_time` (parallel-time units, ≥ 0) for a
+    /// population of n agents: the deadline step is ⌈model_time · n⌉.
+    DeadlineObserver(double model_time, std::size_t n);
+
+    /// Deadline at an absolute interaction index.
+    [[nodiscard]] static DeadlineObserver at_step(StepCount step);
+
+    [[nodiscard]] StepCount next_due() const noexcept override;
+    void observe(const Simulation& sim) override;
+    void finish(const Simulation& sim) override;
+
+    /// The absolute step index the deadline converts to.
+    [[nodiscard]] StepCount deadline_step() const noexcept { return deadline_; }
+
+    /// The report; unset until the deadline (or run end) was observed.
+    [[nodiscard]] const std::optional<DeadlineReport>& report() const noexcept {
+        return report_;
+    }
+
+private:
+    explicit DeadlineObserver(StepCount deadline_step);
+
+    void record(const Simulation& sim, bool reached);
+
+    StepCount deadline_;
+    std::optional<DeadlineReport> report_;
+};
+
+/// One captured timed snapshot: the model-time point asked for and the full
+/// configuration census recorded for it.
+struct TimedSnapshot {
+    double requested_time = 0.0;  ///< model-time point (parallel-time units)
+    StepCount target_step = 0;    ///< ⌈requested_time · n⌉
+    bool reached = false;         ///< captured at its step (vs at run end)
+    ConfigurationSnapshot snapshot;
+};
+
+/// Records a full configuration snapshot at each of a list of model-time
+/// points (the time-driven sibling of the stride-based SnapshotRecorder).
+/// Points are sorted ascending at construction; each is captured at exactly
+/// its step under the run layer's deadline slicing. Points the run never
+/// reaches (it stabilised or exhausted its budget first) are filled with the
+/// end-of-run configuration and marked `reached = false` — the correct
+/// deadline view for absorbing protocols, a documented approximation for
+/// the loosely-stabilising baseline. Behind `ppsim_sim --snapshot-at`.
+class TimedSnapshotRecorder final : public SimulationObserver {
+public:
+    /// \param times  model-time points (parallel-time units, each ≥ 0)
+    /// \param n      population size (converts times to steps)
+    TimedSnapshotRecorder(std::vector<double> times, std::size_t n);
+
+    [[nodiscard]] StepCount next_due() const noexcept override;
+    void observe(const Simulation& sim) override;
+    void finish(const Simulation& sim) override;
+
+    /// Captured snapshots, one per requested point, in ascending time order.
+    /// Entries past `captured_count()` are not yet recorded.
+    [[nodiscard]] const std::vector<TimedSnapshot>& snapshots() const noexcept {
+        return snapshots_;
+    }
+
+    /// Number of leading entries of `snapshots()` already captured.
+    [[nodiscard]] std::size_t captured_count() const noexcept { return captured_; }
+
+    /// Writes the captured snapshots in long CSV form:
+    /// requested_time,step,state_key,count,role — one row per (point, state).
+    void write_csv(std::ostream& out) const;
+
+private:
+    std::vector<TimedSnapshot> snapshots_;  ///< sorted by requested_time
+    std::size_t captured_ = 0;              ///< entries recorded so far
+};
+
+/// Writes timed snapshots as CSV (the single definition of the schema:
+/// requested_time,step,state_key,count,role). The path overload throws on
+/// I/O failure.
+void write_timed_snapshots_csv(std::ostream& out,
+                               const std::vector<TimedSnapshot>& snapshots);
+void write_timed_snapshots_csv(const std::string& path,
+                               const std::vector<TimedSnapshot>& snapshots);
 
 }  // namespace ppsim

@@ -449,6 +449,23 @@ template <typename Generator>
     return reflected ? trials - x : x;
 }
 
+/// Double-probability binomial overload for callers whose success
+/// probability is not a count ratio — the engines' rate-thinning draws
+/// (fired pairs among `trials` scheduled ones, each firing with probability
+/// rate/max_rate). Same two regimes as the ratio overload above; p is taken
+/// as given, so the caller owns its rounding.
+template <typename Generator>
+[[nodiscard]] std::uint64_t binomial(Generator& gen, std::uint64_t trials, double p) {
+    if (trials == 0 || p <= 0.0) return 0;
+    if (p >= 1.0) return trials;
+    const bool reflected = p > 0.5;
+    const double q = reflected ? 1.0 - p : p;
+    const double mean = static_cast<double>(trials) * q;
+    const std::uint64_t x = mean < 10.0 ? detail::binomial_inversion(gen, trials, q)
+                                        : detail::binomial_btrs(gen, trials, q);
+    return reflected ? trials - x : x;
+}
+
 /// Samples the geometric distribution: the number of Bernoulli(p) trials up
 /// to and including the first success (support 1, 2, …), by inversion of
 /// the survival function P(X > k) = (1−p)^k. One PRNG draw and two log

@@ -12,6 +12,7 @@
 /// implementation serves every engine that works on interned state ids.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -28,7 +29,11 @@ namespace ppsim {
 
 /// One memoised transition: output ids plus the leader-count delta and
 /// whether any output symbol changed (verify_outputs_stable). out_a ==
-/// invalid_state marks an empty slot.
+/// invalid_state marks an empty slot. For rate-annotated protocols
+/// (RatedProtocol, protocol.hpp) the entry also memoises the *firing
+/// probability* rate(a, b) / max_rate() of the input pair, so the engines'
+/// thinning draws never re-evaluate the protocol's rate function on a hot
+/// path; unrated protocols keep the default 1 (never thinned).
 struct CachedTransition {
     /// Sentinel id marking an empty cache slot (= the shared
     /// invalid_state_id from state_index.hpp).
@@ -36,6 +41,7 @@ struct CachedTransition {
 
     StateId out_a = invalid_state;
     StateId out_b = invalid_state;
+    float fire_weight = 1.0F;  ///< rate(a, b) / max_rate(), clamped to [0, 1]
     std::int8_t leader_delta = 0;
     bool role_changed = false;
 };
@@ -163,8 +169,12 @@ template <typename P, typename InternFn>
     const Role role_b = index.role(b);
     const int before = static_cast<int>(role_a == Role::leader) +
                        static_cast<int>(role_b == Role::leader);
-    proto.interact(sa, sb);
     CachedTransition tr;
+    if constexpr (RatedProtocol<P>) {
+        const double weight = pair_rate_of(proto, sa, sb) / max_rate_of(proto);
+        tr.fire_weight = static_cast<float>(std::clamp(weight, 0.0, 1.0));
+    }
+    proto.interact(sa, sb);
     tr.out_a = intern_state(sa);
     tr.out_b = intern_state(sb);
     const int after = static_cast<int>(index.is_leader(tr.out_a)) +

@@ -1,0 +1,154 @@
+/// \file rated.hpp
+/// \brief Rate-annotated protocols (RatedProtocol, core/protocol.hpp): the
+/// registry's workloads for non-uniform interaction rates.
+///
+/// The uniform scheduler of the source paper gives every ordered pair the
+/// same meeting rate. The rate annotation layer generalises this: each
+/// ordered state pair (a, b) carries a relative Poisson-clock rate, and a
+/// scheduled pair fires with probability rate(a, b) / max_rate() (see the
+/// rate contract in protocol.hpp). Two workloads exercise it:
+///
+///  * `RatedEpidemic` — an SI-style spread of the defeated state with two
+///    contact-activity classes. Contests happen between candidates (the
+///    [Ang+06] pairwise rule, so the readout is a leader election); the
+///    winner of a contest becomes a *fast* contactor (activity 2, the
+///    super-spreader class) while defeated agents drop to the slow class.
+///    Contact rates multiply: slow–slow pairs run at 1/4 of the maximum,
+///    pairs with one fast agent at 1/2, fast–fast at full speed — so the
+///    heterogeneity itself is produced by the process, exactly like the
+///    high-activity cores of epidemic contact networks.
+///
+///  * `TwoRateElection` — the geometric-lottery election (lottery.hpp) with
+///    two rate classes in the style of Gąsieniec–Stachowiak–Uznański's
+///    clocked constructions (arXiv:1802.06867): agents still in the race
+///    (leaders) are *hot* and interact eagerly; settled followers are *cold*
+///    and idle at 1/9 of the maximum pair rate. The hot junta drives the
+///    election at full speed while the bulk slows down — the rate-class
+///    picture of a junta-driven phase clock, as a measurable workload.
+///
+/// Both protocols keep deterministic transitions (all randomness stays in
+/// the scheduler + thinning, as the model prescribes) and an absorbing
+/// single-leader predicate, so every engine, the KS harness and the golden
+/// replay machinery treat them like any other registered protocol.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "../core/common.hpp"
+#include "../core/protocol.hpp"
+#include "lottery.hpp"
+
+namespace ppsim {
+
+/// Agent state of the rated epidemic: still-contending candidate bit plus
+/// the contact-activity class.
+struct RatedEpidemicState {
+    bool candidate = true;  ///< still uninfected/contending (output: leader)
+    bool fast = false;      ///< high-activity contact class
+
+    friend constexpr bool operator==(const RatedEpidemicState&,
+                                     const RatedEpidemicState&) = default;
+};
+
+/// SI-style defeat epidemic with two contact-activity classes (see file
+/// comment). Reachable states: candidate-slow (initial), candidate-fast
+/// (won at least one contest), follower-slow (defeated).
+class RatedEpidemic {
+public:
+    using State = RatedEpidemicState;
+
+    /// Relative contact activity of the two classes (rates multiply).
+    static constexpr double fast_activity = 2.0;
+    static constexpr double slow_activity = 1.0;
+
+    [[nodiscard]] State initial_state() const noexcept { return State{}; }
+
+    [[nodiscard]] Role output(const State& s) const noexcept {
+        return s.candidate ? Role::leader : Role::follower;
+    }
+
+    void interact(State& a0, State& a1) const noexcept {
+        if (a0.candidate && a1.candidate) {
+            a1.candidate = false;  // responder defeated (infected) …
+            a1.fast = false;       // … and convalescent: back to slow contacts
+            a0.fast = true;        // winner becomes a super-spreader
+        }
+    }
+
+    /// Contact rate of an ordered pair: the product of the two activity
+    /// classes — 1 (slow–slow) … 4 (fast–fast).
+    [[nodiscard]] double rate(const State& a, const State& b) const noexcept {
+        return activity(a) * activity(b);
+    }
+
+    [[nodiscard]] double max_rate() const noexcept {
+        return fast_activity * fast_activity;
+    }
+
+    [[nodiscard]] std::string_view name() const noexcept { return "rated_epidemic"; }
+
+    [[nodiscard]] std::uint64_t state_key(const State& s) const noexcept {
+        return (static_cast<std::uint64_t>(s.fast) << 1U) |
+               static_cast<std::uint64_t>(s.candidate);
+    }
+
+    [[nodiscard]] std::size_t state_bound() const noexcept { return 3; }
+
+private:
+    [[nodiscard]] static double activity(const State& s) noexcept {
+        return s.fast ? fast_activity : slow_activity;
+    }
+};
+
+/// The geometric-lottery election with hot/cold rate classes (see file
+/// comment): state, transitions and readout are exactly `Lottery`'s; only
+/// the interaction rates differ. Composition keeps the two protocols'
+/// chains comparable — `rated_election` under rate 1 everywhere would *be*
+/// `lottery`.
+class TwoRateElection {
+public:
+    using State = LotteryState;
+
+    /// Relative meeting weight of an agent still in the race (leaders are
+    /// hot); settled followers weigh 1. Pair rates multiply: cold–cold runs
+    /// at 1/9 of hot–hot.
+    static constexpr double hot_weight = 3.0;
+
+    explicit TwoRateElection(unsigned lmax) : base_(lmax) {}
+
+    [[nodiscard]] static TwoRateElection for_population(std::size_t n) {
+        return TwoRateElection(Lottery::for_population(n).lmax());
+    }
+
+    [[nodiscard]] State initial_state() const noexcept { return base_.initial_state(); }
+
+    [[nodiscard]] Role output(const State& s) const noexcept { return base_.output(s); }
+
+    void interact(State& a0, State& a1) const noexcept { base_.interact(a0, a1); }
+
+    [[nodiscard]] double rate(const State& a, const State& b) const noexcept {
+        return weight(a) * weight(b);
+    }
+
+    [[nodiscard]] double max_rate() const noexcept { return hot_weight * hot_weight; }
+
+    [[nodiscard]] std::string_view name() const noexcept { return "rated_election"; }
+
+    [[nodiscard]] std::uint64_t state_key(const State& s) const noexcept {
+        return base_.state_key(s);
+    }
+
+    [[nodiscard]] std::size_t state_bound() const noexcept { return base_.state_bound(); }
+
+    [[nodiscard]] unsigned lmax() const noexcept { return base_.lmax(); }
+
+private:
+    [[nodiscard]] double weight(const State& s) const noexcept {
+        return s.leader ? hot_weight : 1.0;
+    }
+
+    Lottery base_;
+};
+
+}  // namespace ppsim

@@ -217,5 +217,179 @@ TEST(GillespieSimulation, RunToSingleLeaderWithVerificationCertifies) {
     EXPECT_EQ(r.leader_count, 1U);
 }
 
+// --- sampler marginals: per-channel firing frequencies ∝ propensities -------
+
+/// Fixed-point race protocol for the sampler-marginal chi-square tests.
+/// A deterministic bootstrap drains the uniform initial state U: U×U mints
+/// an (A, B) pair, so with odd n the configuration settles at the invariant
+/// counts {U: 1, A: (n−1)/2, B: (n−1)/2} — from then on the only non-null
+/// channels are four count-preserving swaps, so the channel propensities
+/// are constant forever and the per-channel firing frequencies must be
+/// exactly multinomial with weights c_a·(c_b − [a = b])·rate(a, b):
+///
+///   (A,B)→(B,A)  rate 1      (B,A)→(A,B)  rate 2
+///   (U,A)→(A,U)  rate 4      (B,U)→(U,B)  rate 8
+///
+/// With `uniform_rates` every rate is 1 and the expected frequencies reduce
+/// to the structural weights — the rate-free control.
+struct RaceState {
+    std::uint8_t kind = 0;  ///< 0 = U, 1 = A, 2 = B
+
+    friend constexpr bool operator==(const RaceState&, const RaceState&) = default;
+};
+
+class RateRace {
+public:
+    using State = RaceState;
+
+    explicit RateRace(bool uniform_rates = false) : uniform_(uniform_rates) {}
+
+    [[nodiscard]] State initial_state() const noexcept { return State{}; }
+
+    [[nodiscard]] Role output(const State& s) const noexcept {
+        return s.kind == 0 ? Role::leader : Role::follower;  // keeps U countable
+    }
+
+    void interact(State& a0, State& a1) const noexcept {
+        if (a0.kind == 0 && a1.kind == 0) {  // bootstrap: mint an (A, B) pair
+            a0.kind = 1;
+            a1.kind = 2;
+        } else if ((a0.kind == 1 && a1.kind == 2) || (a0.kind == 2 && a1.kind == 1) ||
+                   (a0.kind == 0 && a1.kind == 1) || (a0.kind == 2 && a1.kind == 0)) {
+            std::swap(a0.kind, a1.kind);  // count-preserving swap channels
+        }
+    }
+
+    [[nodiscard]] double rate(const State& a, const State& b) const noexcept {
+        if (uniform_) return 1.0;
+        if (a.kind == 1 && b.kind == 2) return 1.0;
+        if (a.kind == 2 && b.kind == 1) return 2.0;
+        if (a.kind == 0 && b.kind == 1) return 4.0;
+        if (a.kind == 2 && b.kind == 0) return 8.0;
+        return 1.0;  // null channels: the rate never matters
+    }
+
+    [[nodiscard]] double max_rate() const noexcept { return 8.0; }
+
+    [[nodiscard]] std::string_view name() const noexcept { return "rate_race"; }
+
+    [[nodiscard]] std::uint64_t state_key(const State& s) const noexcept {
+        return s.kind;
+    }
+
+    [[nodiscard]] std::size_t state_bound() const noexcept { return 3; }
+
+private:
+    bool uniform_;
+};
+
+static_assert(RatedProtocol<RateRace>);
+static_assert(!RatedProtocol<Angluin>);
+
+/// Runs the race to its invariant configuration, tallies `target_events`
+/// exact-SSA firings, and returns the chi-square statistic of the observed
+/// per-channel frequencies against the expected propensity proportions.
+double race_chi_square(bool uniform_rates, std::uint64_t seed,
+                       std::uint64_t target_events) {
+    const std::size_t n = 9;  // odd: settles at U=1, A=4, B=4
+    GillespieEngine<RateRace> engine(RateRace{uniform_rates}, n, seed);
+    // Warm up to the invariant configuration (U drained to one agent).
+    while (engine.count_of(RaceState{0}) != 1) {
+        (void)engine.run_for(64);
+    }
+    engine.enable_channel_tally();
+    const std::uint64_t warm_events = engine.exact_events();
+    while (engine.exact_events() < warm_events + target_events) {
+        (void)engine.run_for(4096);
+    }
+    // Expected proportions: weight c_a·(c_b − [a = b])·rate over the four
+    // swap channels at counts U=1, A=4, B=4. Keys: U=0, A=1, B=2.
+    struct Expected {
+        std::uint64_t key_a;
+        std::uint64_t key_b;
+        double weight;
+    };
+    const double r1 = uniform_rates ? 1.0 : 1.0;
+    const double r2 = uniform_rates ? 1.0 : 2.0;
+    const double r3 = uniform_rates ? 1.0 : 4.0;
+    const double r4 = uniform_rates ? 1.0 : 8.0;
+    const std::vector<Expected> expected = {
+        {1, 2, 4.0 * 4.0 * r1},  // (A,B)
+        {2, 1, 4.0 * 4.0 * r2},  // (B,A)
+        {0, 1, 1.0 * 4.0 * r3},  // (U,A)
+        {2, 0, 4.0 * 1.0 * r4},  // (B,U)
+    };
+    double total_weight = 0.0;
+    for (const Expected& e : expected) total_weight += e.weight;
+
+    const std::vector<ChannelFiredCount> tally = engine.channel_tally();
+    std::uint64_t observed_total = 0;
+    for (const ChannelFiredCount& row : tally) observed_total += row.fired;
+    EXPECT_GE(observed_total, target_events);
+
+    double chi_square = 0.0;
+    std::size_t matched = 0;
+    for (const Expected& e : expected) {
+        std::uint64_t fired = 0;
+        for (const ChannelFiredCount& row : tally) {
+            if (row.initiator_key == e.key_a && row.responder_key == e.key_b) {
+                fired = row.fired;
+                ++matched;
+            }
+        }
+        const double exp_count =
+            static_cast<double>(observed_total) * e.weight / total_weight;
+        const double diff = static_cast<double>(fired) - exp_count;
+        chi_square += diff * diff / exp_count;
+    }
+    EXPECT_EQ(matched, expected.size()) << "a race channel never fired";
+    EXPECT_EQ(tally.size(), expected.size())
+        << "the invariant configuration fired an unexpected channel";
+    return chi_square;
+}
+
+/// Critical value of chi-square with 3 degrees of freedom at α = 0.001.
+/// Seeds are fixed, so these are regression bars (like the KS harness): the
+/// committed seeds pass with wide margin, and a mis-weighted channel draw
+/// (e.g. rates ignored, or applied squared) drives the statistic into the
+/// thousands at these sample sizes.
+constexpr double chi_square_3df_crit = 16.27;
+
+TEST(GillespieRates, ChannelFiringFrequenciesMatchRateWeightedPropensities) {
+    EXPECT_LT(race_chi_square(/*uniform_rates=*/false, 2019, 40000),
+              chi_square_3df_crit);
+    EXPECT_LT(race_chi_square(/*uniform_rates=*/false, 7, 40000),
+              chi_square_3df_crit);
+}
+
+TEST(GillespieRates, UniformRatesReduceToStructuralWeights) {
+    EXPECT_LT(race_chi_square(/*uniform_rates=*/true, 2019, 40000),
+              chi_square_3df_crit);
+}
+
+TEST(GillespieRates, RateZeroChannelsNeverFire) {
+    // A rate can be zero: the channel is then excluded from the propensity
+    // sum and must never fire. Freeze the race's (A,B) channel.
+    class FrozenRace : public RateRace {
+    public:
+        using RateRace::RateRace;
+        [[nodiscard]] double rate(const RaceState& a, const RaceState& b) const noexcept {
+            if (a.kind == 1 && b.kind == 2) return 0.0;
+            return RateRace::rate(a, b);
+        }
+    };
+    static_assert(RatedProtocol<FrozenRace>);
+    GillespieEngine<FrozenRace> engine(FrozenRace{}, 9, 11);
+    while (engine.count_of(RaceState{0}) != 1) {
+        (void)engine.run_for(64);
+    }
+    engine.enable_channel_tally();
+    (void)engine.run_for(200000);
+    for (const ChannelFiredCount& row : engine.channel_tally()) {
+        EXPECT_FALSE(row.initiator_key == 1 && row.responder_key == 2)
+            << "rate-zero channel fired " << row.fired << " times";
+    }
+}
+
 }  // namespace
 }  // namespace ppsim

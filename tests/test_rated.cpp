@@ -1,0 +1,165 @@
+// Unit tests for the rate annotation layer (core/protocol.hpp) and the two
+// registered rate-annotated protocols (protocols/rated.hpp): concept
+// detection, the unrated defaults, the type-erased AnyProtocol rate surface,
+// transition semantics, and end-to-end elections on every engine.
+// Cross-engine distributional agreement lives in test_statistical.cpp; the
+// gillespie propensity marginals in test_gillespie_engine.cpp.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/protocol.hpp"
+#include "core/transition_cache.hpp"
+#include "protocols/angluin.hpp"
+#include "protocols/lottery.hpp"
+#include "protocols/rated.hpp"
+#include "protocols/registry.hpp"
+
+namespace ppsim {
+namespace {
+
+static_assert(RatedProtocol<RatedEpidemic>);
+static_assert(RatedProtocol<TwoRateElection>);
+static_assert(!RatedProtocol<Angluin>);
+static_assert(!RatedProtocol<Lottery>);
+static_assert(InternableProtocol<RatedEpidemic>);
+static_assert(InternableProtocol<TwoRateElection>);
+
+TEST(RateLayer, UnratedProtocolsDefaultToRateOne) {
+    const Angluin proto;
+    const AngluinState a;
+    const AngluinState b;
+    EXPECT_EQ(pair_rate_of(proto, a, b), 1.0);
+    EXPECT_EQ(max_rate_of(proto), 1.0);
+}
+
+TEST(RateLayer, RatedProtocolsReportTheirRates) {
+    const RatedEpidemic proto;
+    const RatedEpidemicState slow{true, false};
+    const RatedEpidemicState fast{true, true};
+    EXPECT_EQ(pair_rate_of(proto, slow, slow), 1.0);
+    EXPECT_EQ(pair_rate_of(proto, fast, slow), 2.0);
+    EXPECT_EQ(pair_rate_of(proto, slow, fast), 2.0);
+    EXPECT_EQ(pair_rate_of(proto, fast, fast), 4.0);
+    EXPECT_EQ(max_rate_of(proto), 4.0);
+}
+
+TEST(RateLayer, AnyProtocolExposesRates) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const auto rated = registry.make("rated_epidemic", 16);
+    EXPECT_EQ(rated->max_rate(), 4.0);
+    std::vector<std::byte> slot(rated->state_size());
+    rated->write_initial_state(slot.data());
+    EXPECT_EQ(rated->pair_rate(slot.data(), slot.data()), 1.0);  // slow–slow
+
+    const auto unrated = registry.make("angluin06", 16);
+    EXPECT_EQ(unrated->max_rate(), 1.0);
+    std::vector<std::byte> uslot(unrated->state_size());
+    unrated->write_initial_state(uslot.data());
+    EXPECT_EQ(unrated->pair_rate(uslot.data(), uslot.data()), 1.0);
+}
+
+TEST(RatedEpidemicProtocol, ContestPromotesWinnerAndInfectsResponder) {
+    const RatedEpidemic proto;
+    RatedEpidemicState a;  // candidate, slow
+    RatedEpidemicState b;
+    proto.interact(a, b);
+    EXPECT_TRUE(a.candidate);
+    EXPECT_TRUE(a.fast);  // winner is now a super-spreader
+    EXPECT_FALSE(b.candidate);
+    EXPECT_FALSE(b.fast);
+    EXPECT_EQ(proto.output(a), Role::leader);
+    EXPECT_EQ(proto.output(b), Role::follower);
+
+    // Follower interactions are null in every direction.
+    RatedEpidemicState c = a;
+    RatedEpidemicState d = b;
+    proto.interact(c, d);
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(d, b);
+    proto.interact(d, c);
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(d, b);
+}
+
+TEST(TwoRateElectionProtocol, SharesTheLotteryChainWithHotColdRates) {
+    const std::size_t n = 1024;
+    const TwoRateElection rated = TwoRateElection::for_population(n);
+    const Lottery base = Lottery::for_population(n);
+    EXPECT_EQ(rated.lmax(), base.lmax());
+    // Transitions delegate to the lottery exactly.
+    LotteryState a0;
+    LotteryState a1;
+    LotteryState b0;
+    LotteryState b1;
+    rated.interact(a0, a1);
+    base.interact(b0, b1);
+    EXPECT_EQ(a0, b0);
+    EXPECT_EQ(a1, b1);
+    // Hot (still racing) agents carry weight 3, settled followers 1.
+    LotteryState leader;  // leader = true by default
+    LotteryState follower;
+    follower.leader = false;
+    EXPECT_EQ(rated.rate(leader, leader), 9.0);
+    EXPECT_EQ(rated.rate(leader, follower), 3.0);
+    EXPECT_EQ(rated.rate(follower, follower), 1.0);
+    EXPECT_EQ(rated.max_rate(), 9.0);
+}
+
+TEST(RateLayer, CachedTransitionsMemoiseFiringProbability) {
+    // compute_cached_transition stores rate(a, b)/max_rate of the *input*
+    // pair; unrated protocols keep the default 1 (never thinned).
+    RatedEpidemic proto;
+    StateIndex<RatedEpidemic> index;
+    const StateId slow = index.intern(proto, RatedEpidemicState{true, false});
+    const StateId fast = index.intern(proto, RatedEpidemicState{true, true});
+    const auto intern = [&](const RatedEpidemicState& s) {
+        return index.intern(proto, s);
+    };
+    const CachedTransition slow_slow =
+        compute_cached_transition(proto, index, slow, slow, intern);
+    EXPECT_FLOAT_EQ(slow_slow.fire_weight, 0.25F);
+    const CachedTransition fast_slow =
+        compute_cached_transition(proto, index, fast, slow, intern);
+    EXPECT_FLOAT_EQ(fast_slow.fire_weight, 0.5F);
+    EXPECT_EQ(fast_slow.leader_delta, -1);
+
+    Angluin unrated;
+    StateIndex<Angluin> uindex;
+    const StateId lead = uindex.intern(unrated, AngluinState{true});
+    const CachedTransition tr = compute_cached_transition(
+        unrated, uindex, lead, lead,
+        [&](const AngluinState& s) { return uindex.intern(unrated, s); });
+    EXPECT_FLOAT_EQ(tr.fire_weight, 1.0F);
+}
+
+TEST(RatedProtocols, ElectOneLeaderOnEveryEngine) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const std::size_t n = 128;
+    for (const char* name : {"rated_epidemic", "rated_election"}) {
+        for (const EngineKind engine :
+             {EngineKind::agent, EngineKind::batched, EngineKind::gillespie}) {
+            const RunResult r = registry.run_election(
+                name, n, 23, static_cast<StepCount>(n) * n * 500, engine);
+            EXPECT_TRUE(r.converged) << name << " on " << to_string(engine);
+            EXPECT_EQ(r.leader_count, 1U) << name << " on " << to_string(engine);
+            ASSERT_TRUE(r.stabilization_step.has_value())
+                << name << " on " << to_string(engine);
+        }
+    }
+}
+
+TEST(RatedProtocols, VerifyOutputsStableHoldsAfterStabilisation) {
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const std::size_t n = 128;
+    for (const EngineKind engine :
+         {EngineKind::agent, EngineKind::batched, EngineKind::gillespie}) {
+        const RunResult r = registry.run_election_verified(
+            "rated_epidemic", n, 29, static_cast<StepCount>(n) * n * 500,
+            /*verify_steps=*/static_cast<StepCount>(n) * 64, engine);
+        EXPECT_TRUE(r.converged) << to_string(engine);
+    }
+}
+
+}  // namespace
+}  // namespace ppsim

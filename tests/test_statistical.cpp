@@ -90,8 +90,42 @@ TEST_P(SmallPopulationAgreement, BatchedVsGillespie) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Protocols, SmallPopulationAgreement,
-                         ::testing::Values("angluin06", "lottery", "pll"),
+                         ::testing::Values("angluin06", "lottery", "pll",
+                                           "rated_epidemic"),
                          [](const auto& info) { return std::string(info.param); });
+
+// --- rate-annotated protocols: thinning vs propensity weights ----------------
+//
+// rated_epidemic (above) and rated_election run the *thinned* chain of
+// protocol.hpp through three different mechanisms: per-step rejection on the
+// agent engine, per-cell binomial thinning on the batched engine, and
+// rate-scaled propensities (no rejection at all) on the gillespie engine. KS
+// agreement of their stabilisation-time distributions is the end-to-end
+// check that all three implement the same chain. rated_election's lottery
+// phases dilate by up to max_rate = 9 in steps, so its budget is wider than
+// the shared suite's.
+
+class RatedElectionAgreement : public ::testing::Test {
+protected:
+    static constexpr std::size_t n = 64;
+    static constexpr int reps = 250;
+    static constexpr StepCount budget = static_cast<StepCount>(n) * n * 500;
+};
+
+TEST_F(RatedElectionAgreement, AgentVsGillespie) {
+    expect_agreement("rated_election", n, reps, budget, EngineKind::agent,
+                     EngineKind::gillespie, 11, 33);
+}
+
+TEST_F(RatedElectionAgreement, AgentVsBatched) {
+    expect_agreement("rated_election", n, reps, budget, EngineKind::agent,
+                     EngineKind::batched, 11, 22);
+}
+
+TEST_F(RatedElectionAgreement, BatchedVsGillespie) {
+    expect_agreement("rated_election", n, reps, budget, EngineKind::batched,
+                     EngineKind::gillespie, 22, 33);
+}
 
 // --- leap regime: bounds the τ-leaping approximation statistically ----------
 
@@ -111,6 +145,18 @@ TEST(LeapRegimeAgreement, LotteryGillespieMatchesBatchedAt8192) {
     // where the near-stabilisation exact-SSA fallback earns its keep.
     const std::size_t n = 8192;
     expect_agreement("lottery", n, 120, static_cast<StepCount>(n) * n * 8,
+                     EngineKind::gillespie, EngineKind::batched, 101, 202);
+}
+
+TEST(LeapRegimeAgreement, RatedElectionGillespieMatchesBatchedAt8192) {
+    // The rate-annotated stressor in the leap regime: gillespie's leaps thin
+    // each cell binomially while its exact-SSA fallback folds the rates into
+    // the channel weights; the batched engine thins against max_rate
+    // throughout. The cold-bulk dilation (follower pairs at 1/9) makes the
+    // epidemic phases rate-dominated, so a mis-weighted thinning path shifts
+    // the whole distribution and KS rejects hard.
+    const std::size_t n = 8192;
+    expect_agreement("rated_election", n, 120, static_cast<StepCount>(n) * n * 8,
                      EngineKind::gillespie, EngineKind::batched, 101, 202);
 }
 

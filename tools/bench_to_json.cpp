@@ -85,8 +85,8 @@ std::string ratio(double value) {
 }
 
 int run(const ArgParser& args) {
-    const std::vector<std::string> protocols =
-        split_csv(args.get_string("protocols", "angluin06,loose_sud12,lottery,pll"));
+    const std::vector<std::string> protocols = split_csv(args.get_string(
+        "protocols", "angluin06,loose_sud12,lottery,pll,rated_epidemic,rated_election"));
     std::vector<std::size_t> sizes;
     for (const std::string& s :
          split_csv(args.get_string("sizes", "1024,16384,1048576,16777216"))) {
@@ -195,7 +195,7 @@ int run(const ArgParser& args) {
 int main(int argc, char** argv) {
     ArgParser args;
     args.declare("protocols", "comma-separated registry names",
-                 "angluin06,loose_sud12,lottery,pll");
+                 "angluin06,loose_sud12,lottery,pll,rated_epidemic,rated_election");
     args.declare("sizes", "comma-separated population sizes",
                  "1024,16384,1048576,16777216");
     args.declare("min-seconds", "minimum wall time per measurement", "0.3");

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (CI: the `link-check` job).
+
+Scans the given markdown files (or the repo's default doc set) for inline
+links and validates every *repo-local* target:
+
+  * relative file links must point at an existing file or directory
+    (anchors are stripped; `path#section` checks `path`);
+  * bare-anchor links (`#section`) must match a heading in the same file
+    (GitHub slug rules, simplified);
+  * absolute URLs (http/https/mailto) are reported but not fetched — CI
+    stays hermetic.
+
+Exit status: 0 when every local target resolves, 1 otherwise (each broken
+link is printed as `file:line: broken link -> target`).
+
+Usage:
+    python3 tools/check_markdown_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FILES = ["README.md", "ROADMAP.md", "docs/ARCHITECTURE.md", "docs/NOTATION.md"]
+
+# Inline markdown links [text](target). Deliberately simple: no reference
+# links or images with titles in these docs; fenced code blocks are skipped.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug, simplified: lowercase, drop punctuation,
+    hyphenate spaces. Good enough for ASCII headings like ours."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    own_headings: set[str] | None = None
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                if own_headings is None:
+                    own_headings = headings_of(path)
+                if target[1:] not in own_headings:
+                    errors.append(f"{path}:{lineno}: broken anchor -> {target}")
+                continue
+            rel = target.split("#", 1)[0]
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv[1:]] or [REPO_ROOT / f for f in DEFAULT_FILES]
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} file(s): " + ("OK" if not errors else f"{len(errors)} broken"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -44,12 +44,77 @@ ArgParser make_parser() {
                  "record the distinct-state census per sample (O(n) per sample "
                  "on the agent engine)",
                  "true");
+    args.declare("deadline",
+                 "report the leader census at this model time (parallel-time "
+                 "units) for every repetition (0 = off)",
+                 "0");
+    args.declare("snapshot-at",
+                 "comma-separated model-time points: record one seeded run's "
+                 "full state census at each point",
+                 "");
+    args.declare("snapshot-csv", "output CSV path for --snapshot-at",
+                 "snapshots.csv");
     args.declare("states", "also count reachable states per agent");
     args.declare("model-check", "exhaustively model-check a tiny population");
     args.declare("max-configs", "model-checker configuration budget", "200000");
     args.declare("list", "list registered protocols and exit");
     args.declare("help", "show this help");
     return args;
+}
+
+std::vector<double> parse_time_points(const std::string& csv) {
+    std::vector<double> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string item =
+            csv.substr(start, comma == std::string::npos ? comma : comma - start);
+        if (!item.empty()) {
+            try {
+                out.push_back(std::stod(item));
+            } catch (const std::exception&) {
+                throw InvalidArgument("--snapshot-at: not a model-time point: '" +
+                                      item + "'");
+            }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    if (out.empty()) {
+        throw InvalidArgument("--snapshot-at needs at least one model-time point");
+    }
+    return out;
+}
+
+/// Runs one seeded election with a TimedSnapshotRecorder attached and
+/// writes the captured censuses as CSV (model-time points → full state
+/// counts). Returns false when a snapshot is unusable (a census that does
+/// not conserve the population), so the smoke tests catch it.
+bool write_timed_snapshots(const std::string& protocol, std::size_t n,
+                           std::uint64_t seed, EngineKind engine, BatchMode batch_mode,
+                           StepCount max_steps, const std::vector<double>& times,
+                           const std::string& path) {
+    const auto sim = ProtocolRegistry::instance().make_simulation(protocol, n, seed,
+                                                                  engine, batch_mode);
+    TimedSnapshotRecorder recorder(times, n);
+    sim->add_observer(recorder);
+    const RunResult run = run_to_single_leader(*sim, max_steps);
+    write_timed_snapshots_csv(path, recorder.snapshots());
+    // finish() fills every entry; report how many were captured at their
+    // model-time point vs inherited from the end of a shorter run.
+    std::size_t reached = 0;
+    for (const TimedSnapshot& entry : recorder.snapshots()) {
+        reached += entry.reached ? 1 : 0;
+    }
+    std::cout << "wrote " << path << " (" << recorder.snapshots().size()
+              << " snapshots, " << reached << " at their model-time points, engine "
+              << to_string(engine) << ", "
+              << (run.converged ? "converged" : "did not converge") << " after "
+              << run.steps << " interactions)\n";
+    for (const TimedSnapshot& entry : recorder.snapshots()) {
+        if (entry.snapshot.total() != n) return false;
+    }
+    return true;
 }
 
 /// Runs one seeded election with a TrajectoryRecorder attached and writes
@@ -116,6 +181,13 @@ int run(const ArgParser& args) {
     const EngineKind engine = parse_engine_kind(args.get_string("engine", "agent"));
     const BatchMode batch_mode = parse_batch_mode(args.get_string("batch-mode", "auto"));
     const double factor = args.get_double("budget-factor", 3000.0);
+    const double deadline_time = args.get_double("deadline", 0.0);
+    require(deadline_time >= 0.0, "--deadline must be non-negative");
+    // The deadline census runs on the sweep path; the single-run recording
+    // modes would silently drop it, so reject the combination outright.
+    require(deadline_time == 0.0 || (args.get_string("trajectory", "").empty() &&
+                                     args.get_string("snapshot-at", "").empty()),
+            "--deadline cannot be combined with --trajectory or --snapshot-at");
 
     if (const std::string path = args.get_string("trajectory", ""); !path.empty()) {
         StepCount stride = args.get_u64("trajectory-every", 0);
@@ -123,6 +195,15 @@ int run(const ArgParser& args) {
         return write_trajectory(protocol, n, seed, engine, batch_mode,
                                 StepBudget::n_log_n(n, factor), stride,
                                 args.get_bool("trajectory-live-states", true), path)
+                   ? 0
+                   : 1;
+    }
+
+    if (const std::string at = args.get_string("snapshot-at", ""); !at.empty()) {
+        return write_timed_snapshots(protocol, n, seed, engine, batch_mode,
+                                     StepBudget::n_log_n(n, factor),
+                                     parse_time_points(at),
+                                     args.get_string("snapshot-csv", "snapshots.csv"))
                    ? 0
                    : 1;
     }
@@ -135,11 +216,29 @@ int run(const ArgParser& args) {
     config.repetitions = static_cast<std::size_t>(args.get_u64("reps", 20));
     config.seed = seed;
     config.verify_steps = args.get_u64("verify", 0);
+    config.deadline_time = deadline_time;
     config.budget = [factor](std::size_t size) {
         return StepBudget::n_log_n(size, factor);
     };
     const SweepResult sweep = run_sweep(config);
     std::cout << render_sweep_table(sweep, protocol + " @ n = " + std::to_string(n));
+    if (config.deadline_time > 0.0) {
+        for (const SweepPoint& point : sweep.points) {
+            if (point.deadline_leaders.count() == 0) {
+                // Every repetition exhausted its budget before the deadline:
+                // there is no valid deadline-time census to report.
+                std::cout << "no repetition reached model time " << config.deadline_time
+                          << " (n = " << point.n << ") within the step budget\n";
+                return 1;
+            }
+            std::cout << "leaders at model time " << config.deadline_time
+                      << " (n = " << point.n << ") over "
+                      << point.deadline_leaders.count() << " runs: mean "
+                      << point.deadline_leaders.mean() << ", max "
+                      << point.deadline_leaders.max() << "; stabilized by deadline: "
+                      << point.deadline_stabilized << "/" << point.repetitions << "\n";
+        }
+    }
 
     JsonValue artefact = sweep_to_json(sweep);
     if (args.get_bool("states", false)) {
