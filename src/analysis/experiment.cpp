@@ -81,6 +81,12 @@ SweepResult run_sweep(const SweepConfig& config) {
                     deadline.emplace(config.deadline_time, n);
                     sim->add_observer(*deadline);
                 }
+                std::optional<RecoveryObserver> recovery;
+                if (!config.fault_plan.empty()) {
+                    sim->set_fault_plan(config.fault_plan);
+                    recovery.emplace(n);
+                    sim->add_observer(*recovery);
+                }
                 std::unique_ptr<SimulationObserver> custom;
                 if (config.make_observer) {
                     custom = config.make_observer(n, rep);
@@ -111,6 +117,23 @@ SweepResult run_sweep(const SweepConfig& config) {
                         if (report.stabilized) ++point.deadline_stabilized;
                     }
                 }
+                if (recovery) {
+                    for (const RecoveryRecord& record : recovery->records()) {
+                        RecoveryRow row;
+                        row.rep = rep;
+                        row.fault_index = record.fault_index;
+                        row.fault_time = record.fault_time;
+                        if (const auto span = record.recovery_time(n)) {
+                            row.recovered = true;
+                            row.recovery_time = *span;
+                            point.recovery_time.add(*span);
+                            ++point.recovery_events;
+                        } else {
+                            ++point.unrecovered_faults;
+                        }
+                        point.recovery_rows.push_back(row);
+                    }
+                }
                 if (recorder) {
                     point.trajectories.push_back(RepTrajectory{rep, recorder->take_points()});
                 }
@@ -118,6 +141,11 @@ SweepResult run_sweep(const SweepConfig& config) {
         // Repetitions merge in completion order; sort for reproducible output.
         std::sort(point.trajectories.begin(), point.trajectories.end(),
                   [](const RepTrajectory& a, const RepTrajectory& b) { return a.rep < b.rep; });
+        std::sort(point.recovery_rows.begin(), point.recovery_rows.end(),
+                  [](const RecoveryRow& a, const RecoveryRow& b) {
+                      return a.rep != b.rep ? a.rep < b.rep
+                                            : a.fault_index < b.fault_index;
+                  });
 
         log_debug("sweep " + config.protocol + " n=" + std::to_string(n) + " mean=" +
                   std::to_string(point.parallel_time.mean()) + " failures=" +
@@ -144,10 +172,12 @@ std::vector<RunResult> run_repeated(const std::string& protocol, std::size_t n,
 TrajectoryRun record_trajectory(const std::string& protocol, std::size_t n,
                                 std::uint64_t seed, StepCount max_steps,
                                 StepCount stride, EngineKind engine,
-                                bool record_live_states, BatchMode batch_mode) {
+                                bool record_live_states, BatchMode batch_mode,
+                                const FaultPlan& fault_plan) {
     const ProtocolRegistry& registry = ProtocolRegistry::instance();
     require(registry.contains(protocol), "unknown protocol: " + protocol);
     const auto sim = registry.make_simulation(protocol, n, seed, engine, batch_mode);
+    if (!fault_plan.empty()) sim->set_fault_plan(fault_plan);
     TrajectoryRecorder recorder(stride, record_live_states);
     sim->add_observer(recorder);
     TrajectoryRun out;

@@ -12,6 +12,7 @@
 #include "../core/batch_pairing.hpp"
 #include "../core/common.hpp"
 #include "../core/engine.hpp"
+#include "../core/fault.hpp"
 #include "../core/observer.hpp"
 #include "../core/stats.hpp"
 
@@ -63,6 +64,12 @@ struct SweepConfig {
     /// the batched engine (O(#states)); an O(n) pass per sample on the
     /// agent engine — switch off for large-n agent sweeps.
     bool trajectory_live_states = true;
+    /// Fault plan injected into every repetition (empty = fault-free). Times
+    /// are model times in units of the initial population (core/fault.hpp).
+    /// When non-empty, a RecoveryObserver is attached per repetition and its
+    /// records aggregate into SweepPoint::recovery_time / recovery_rows.
+    /// The code path behind `ppsim_sim --inject` and `--scenario`.
+    FaultPlan fault_plan;
     /// Optional per-repetition observer factory: called as (n, rep) before
     /// each run; the returned observer is attached to that run's Simulation
     /// and destroyed right after it completes. Use for custom
@@ -82,6 +89,15 @@ struct RepTrajectory {
     std::vector<TrajectoryPoint> points;   ///< leader-count time series
 };
 
+/// One injected fault's recovery outcome within one repetition of a sweep.
+struct RecoveryRow {
+    std::size_t rep = 0;          ///< repetition index within the point
+    std::size_t fault_index = 0;  ///< index into the plan's firing order
+    double fault_time = 0.0;      ///< when the fault fired (model time, n₀ units)
+    double recovery_time = 0.0;   ///< re-stabilisation span (n₀ units); 0 if unrecovered
+    bool recovered = false;       ///< the run re-stabilised after this fault
+};
+
 /// Aggregated results for one population size.
 struct SweepPoint {
     std::size_t n = 0;
@@ -96,6 +112,17 @@ struct SweepPoint {
     RunningStats deadline_leaders;
     /// Repetitions that had stabilised (single leader) by the deadline.
     std::size_t deadline_stabilized = 0;
+    /// Post-fault recovery spans (parallel time, n₀ units) pooled over every
+    /// recovered fault of every repetition. Empty unless
+    /// SweepConfig::fault_plan is non-empty.
+    RunningStats recovery_time;
+    /// Faults that recovered (resp. never re-stabilised within budget),
+    /// summed over repetitions.
+    std::size_t recovery_events = 0;
+    std::size_t unrecovered_faults = 0;
+    /// Per-(repetition, fault) recovery rows, sorted by (rep, fault_index)
+    /// (empty unless fault_plan is non-empty).
+    std::vector<RecoveryRow> recovery_rows;
     /// Per-repetition trajectories (empty unless trajectory_stride > 0).
     std::vector<RepTrajectory> trajectories;
 };
@@ -137,6 +164,7 @@ struct TrajectoryRun {
                                               StepCount stride,
                                               EngineKind engine = EngineKind::agent,
                                               bool record_live_states = true,
-                                              BatchMode batch_mode = BatchMode::automatic);
+                                              BatchMode batch_mode = BatchMode::automatic,
+                                              const FaultPlan& fault_plan = {});
 
 }  // namespace ppsim

@@ -1,7 +1,9 @@
 #include "report.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <ostream>
 #include <set>
 
 namespace ppsim {
@@ -80,6 +82,16 @@ JsonValue sweep_to_json(const SweepResult& sweep) {
             point.set("deadline_stabilized",
                       static_cast<std::uint64_t>(p.deadline_stabilized));
         }
+        if (p.recovery_events > 0 || p.unrecovered_faults > 0) {
+            if (p.recovery_time.count() > 0) {
+                point.set("recovery_mean_time", p.recovery_time.mean());
+                point.set("recovery_max_time", p.recovery_time.max());
+            }
+            point.set("recovery_events",
+                      static_cast<std::uint64_t>(p.recovery_events));
+            point.set("unrecovered_faults",
+                      static_cast<std::uint64_t>(p.unrecovered_faults));
+        }
         points.push_back(std::move(point));
     }
     root.set("points", std::move(points));
@@ -97,6 +109,25 @@ JsonValue sweep_to_json(const SweepResult& sweep) {
         root.set("fit_power_law", std::move(pfit));
     }
     return root;
+}
+
+void write_recovery_csv(std::ostream& out, const SweepResult& sweep) {
+    out << "n,rep,fault_index,fault_time,recovery_time,recovered\n";
+    for (const SweepPoint& p : sweep.points) {
+        for (const RecoveryRow& row : p.recovery_rows) {
+            out << p.n << ',' << row.rep << ',' << row.fault_index << ','
+                << row.fault_time << ',' << row.recovery_time << ','
+                << (row.recovered ? 1 : 0) << '\n';
+        }
+    }
+}
+
+void write_recovery_csv(const std::string& path, const SweepResult& sweep) {
+    std::ofstream out(path);
+    require(out.good(), "cannot open recovery file for writing: " + path);
+    write_recovery_csv(out, sweep);
+    out.flush();
+    require(out.good(), "failed writing recovery file: " + path);
 }
 
 unsigned repro_scale() {

@@ -3,6 +3,7 @@
 /// machine-readable JSON artefacts (shared by the bench binaries).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,16 @@ namespace ppsim {
 [[nodiscard]] std::string render_comparison_table(const std::vector<SweepResult>& sweeps,
                                                   const std::string& title);
 
-/// Serialises a sweep to JSON (per-point stats + scaling fits).
+/// Serialises a sweep to JSON (per-point stats + scaling fits; recovery
+/// aggregates appear when the sweep ran with a fault plan).
 [[nodiscard]] JsonValue sweep_to_json(const SweepResult& sweep);
+
+/// Writes per-(repetition, fault) recovery rows as CSV — the single
+/// definition of the schema:
+/// n,rep,fault_index,fault_time,recovery_time,recovered.
+/// The path overload throws on I/O failure.
+void write_recovery_csv(std::ostream& out, const SweepResult& sweep);
+void write_recovery_csv(const std::string& path, const SweepResult& sweep);
 
 /// Resolves the scale factor for benches: 1 by default, larger when the
 /// REPRO_SCALE environment variable is set ("full" = 4, or a number).

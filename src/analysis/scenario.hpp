@@ -1,0 +1,35 @@
+/// \file scenario.hpp
+/// \brief Registered chaos workloads: named fault plans with a default
+/// protocol, resolved per population size. The scenario registry is to
+/// fault plans what the protocol registry is to protocols — the CLI
+/// (`ppsim_sim --scenario`), the statistical cross-engine suites and the
+/// docs all name the same workload and get the same plan.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "../core/fault.hpp"
+
+namespace ppsim {
+
+/// One registered chaos workload. `make_plan` resolves the plan against the
+/// initial population n₀ (rejoin needs absolute counts; fractions stay
+/// fractions so they track the population as it churns).
+struct ChaosScenario {
+    std::string name;       ///< registry key (`--scenario <name>`)
+    std::string protocol;   ///< default protocol when the CLI is given none
+    std::string summary;    ///< one-line description for `--list-scenarios`
+    double budget_factor = 3000.0;  ///< suggested `--budget-factor`
+    FaultPlan (*make_plan)(std::size_t n0) = nullptr;
+};
+
+/// Every registered chaos workload, in listing order.
+[[nodiscard]] const std::vector<ChaosScenario>& chaos_scenarios();
+
+/// Looks a scenario up by name; throws InvalidArgument when unknown (the
+/// message lists the registered names).
+[[nodiscard]] const ChaosScenario& find_chaos_scenario(const std::string& name);
+
+}  // namespace ppsim

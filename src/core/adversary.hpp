@@ -20,38 +20,46 @@ namespace ppsim {
 
 /// Deterministic round-robin tournament (the classic circle method): each
 /// round is a perfect matching, consecutive rounds rotate the circle, and
-/// every unordered pair meets exactly once per n−1 rounds — a synchronous-
+/// every unordered pair meets exactly once per tournament — a synchronous-
 /// network-like schedule where all agents interact at the same rate and the
-/// schedule is globally fair. Requires an even population.
+/// schedule is globally fair. An odd population is padded with a phantom
+/// "bye" seat: the agent matched against it sits the round out, so rounds
+/// then hold (n−1)/2 pairs and a full tournament takes n rounds.
 class RoundRobinScheduler {
 public:
-    explicit RoundRobinScheduler(std::size_t n) : n_(n) {
+    explicit RoundRobinScheduler(std::size_t n) : n_(n), m_(n % 2 == 0 ? n : n + 1) {
         require(n >= 2, "population must contain at least two agents");
-        require(n % 2 == 0, "round-robin tournament needs an even population");
     }
 
     [[nodiscard]] Interaction next() noexcept {
-        const std::size_t pairs_per_round = n_ / 2;
-        const std::size_t pair_index = cursor_ % pairs_per_round;
-        const std::size_t round = cursor_ / pairs_per_round;
-        ++cursor_;
-        // Circle method: position 0 hosts agent 0 permanently; positions
-        // 1..n−1 hold agent 1 + ((position − 1 + round) mod (n − 1)).
-        // Pair position k with position n−1−k.
-        const auto agent_at = [&](std::size_t position) {
-            if (position == 0) return AgentId{0};
-            return static_cast<AgentId>(1 + (position - 1 + round) % (n_ - 1));
-        };
-        const AgentId a = agent_at(pair_index);
-        const AgentId b = agent_at(n_ - 1 - pair_index);
-        // Alternate roles between rounds so neither side is permanently the
-        // initiator (a permanently one-sided adversary would freeze PLL's
-        // geometric race, which is legal but uninteresting).
-        return round % 2 == 0 ? Interaction{a, b} : Interaction{b, a};
+        const std::size_t pairs_per_round = m_ / 2;
+        while (true) {
+            const std::size_t pair_index = cursor_ % pairs_per_round;
+            const std::size_t round = cursor_ / pairs_per_round;
+            ++cursor_;
+            // Circle method over the padded size m: position 0 hosts seat 0
+            // permanently; positions 1..m−1 hold seat
+            // 1 + ((position − 1 + round) mod (m − 1)). Pair position k with
+            // position m−1−k. With odd n, seat m−1 = n is the bye.
+            const auto seat_at = [&](std::size_t position) {
+                if (position == 0) return std::size_t{0};
+                return 1 + (position - 1 + round) % (m_ - 1);
+            };
+            const std::size_t a = seat_at(pair_index);
+            const std::size_t b = seat_at(m_ - 1 - pair_index);
+            if (a >= n_ || b >= n_) continue;  // bye pair: skip, nobody interacts
+            // Alternate roles between rounds so neither side is permanently
+            // the initiator (a permanently one-sided adversary would freeze
+            // PLL's geometric race, which is legal but uninteresting).
+            return round % 2 == 0
+                       ? Interaction{static_cast<AgentId>(a), static_cast<AgentId>(b)}
+                       : Interaction{static_cast<AgentId>(b), static_cast<AgentId>(a)};
+        }
     }
 
 private:
     std::size_t n_;
+    std::size_t m_;  ///< n rounded up to even (phantom bye seat when odd)
     std::size_t cursor_ = 0;
 };
 

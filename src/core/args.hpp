@@ -2,7 +2,9 @@
 /// \brief Minimal command-line flag parser for the tools and examples.
 ///
 /// Supports `--name value`, `--name=value` and boolean `--flag` forms, plus
-/// typed accessors with defaults and a rendered usage string. Deliberately
+/// typed accessors with defaults and a rendered usage string. Flags may
+/// repeat: the typed getters read the last occurrence, `get_strings`
+/// returns them all (how `--inject` accumulates a fault plan). Deliberately
 /// tiny: no subcommands, no dependency.
 #pragma once
 
@@ -43,7 +45,7 @@ public:
                 value = "true";  // bare boolean flag
             }
             require(is_declared(token), "unknown flag: --" + token);
-            values_[token] = value;
+            values_[token].push_back(value);
         }
     }
 
@@ -54,7 +56,14 @@ public:
     [[nodiscard]] std::string get_string(const std::string& name,
                                          const std::string& fallback) const {
         const auto it = values_.find(name);
-        return it == values_.end() ? fallback : it->second;
+        return it == values_.end() ? fallback : it->second.back();
+    }
+
+    /// Every value a repeatable flag was given, in command-line order
+    /// (empty when the flag is absent). `--inject a --inject b` → {a, b}.
+    [[nodiscard]] std::vector<std::string> get_strings(const std::string& name) const {
+        const auto it = values_.find(name);
+        return it == values_.end() ? std::vector<std::string>{} : it->second;
     }
 
     [[nodiscard]] std::uint64_t get_u64(const std::string& name,
@@ -62,10 +71,10 @@ public:
         const auto it = values_.find(name);
         if (it == values_.end()) return fallback;
         try {
-            return std::stoull(it->second);
+            return std::stoull(it->second.back());
         } catch (const std::exception&) {
             throw InvalidArgument("flag --" + name + " expects an integer, got '" +
-                                  it->second + "'");
+                                  it->second.back() + "'");
         }
     }
 
@@ -73,17 +82,18 @@ public:
         const auto it = values_.find(name);
         if (it == values_.end()) return fallback;
         try {
-            return std::stod(it->second);
+            return std::stod(it->second.back());
         } catch (const std::exception&) {
             throw InvalidArgument("flag --" + name + " expects a number, got '" +
-                                  it->second + "'");
+                                  it->second.back() + "'");
         }
     }
 
     [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const {
         const auto it = values_.find(name);
         if (it == values_.end()) return fallback;
-        return it->second == "true" || it->second == "1" || it->second == "yes";
+        return it->second.back() == "true" || it->second.back() == "1" ||
+               it->second.back() == "yes";
     }
 
     /// Usage text assembled from the declared flags.
@@ -113,7 +123,7 @@ private:
     }
 
     std::vector<Declared> declared_;
-    std::map<std::string, std::string> values_;
+    std::map<std::string, std::vector<std::string>> values_;  ///< flags repeat
 };
 
 }  // namespace ppsim

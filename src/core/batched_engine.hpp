@@ -70,6 +70,7 @@
 #include "common.hpp"
 #include "count_store.hpp"
 #include "engine.hpp"  // RunResult
+#include "fault.hpp"
 #include "population.hpp"
 #include "protocol.hpp"
 #include "random.hpp"
@@ -93,6 +94,7 @@ public:
         : protocol_(std::move(protocol)),
           n_(n),
           rng_(seed),
+          fault_rng_(derive_seed(seed, fault_stream_tag)),
           run_sampler_(n),
           batch_mode_(batch_mode) {
         require(n >= 2, "population must contain at least two agents");
@@ -187,6 +189,66 @@ public:
         return !role_change_seen_ && leader_count_ == leaders_before;
     }
 
+    // --- fault injection ---------------------------------------------------
+
+    /// Applies one crash/rejoin/reset fault between rounds by count-vector
+    /// surgery on the shared store. The transition cache stays valid (it is
+    /// keyed on state ids, never on counts); the repairs the surgery *does*
+    /// owe are the live-list compaction (inside `remove_uniform_agents`)
+    /// and re-sizing the collision-run sampler to the new population. All
+    /// randomness comes from the dedicated fault stream, so the batch
+    /// stream replays deterministically after the fault. Silence never
+    /// reaches the engine (run-layer concern).
+    void apply_fault(const FaultAction& action) {
+        require(action.kind != FaultKind::silence,
+                "silence is applied by the run layer, not the engine");
+        switch (action.kind) {
+            case FaultKind::crash: {
+                std::uint64_t k = resolve_fault_count(action, n_);
+                if (k >= n_) k = n_ - 1;  // always leave one survivor
+                const std::uint64_t leaders_removed =
+                    remove_uniform_agents(store_, fault_rng_, k, n_);
+                n_ -= k;
+                leader_count_ -= leaders_removed;
+                if (n_ >= 2) run_sampler_ = CollisionRunSampler(n_);
+                break;
+            }
+            case FaultKind::rejoin: {
+                const std::uint64_t k = action.count;
+                require(n_ + k <= (std::uint64_t{1} << 32U),
+                        "rejoin would grow the population past 2^32 agents");
+                const StateId init = intern(protocol_.initial_state());
+                store_.counts()[init] += k;
+                store_.make_live(init);
+                n_ += k;
+                if (store_.index().is_leader(init)) leader_count_ += k;
+                run_sampler_ = CollisionRunSampler(n_);
+                break;
+            }
+            case FaultKind::reset: {
+                std::uint64_t k = resolve_fault_count(action, n_);
+                if (k > n_) k = n_;
+                const std::uint64_t leaders_removed =
+                    remove_uniform_agents(store_, fault_rng_, k, n_);
+                const StateId init = intern(protocol_.initial_state());
+                store_.counts()[init] += k;
+                store_.make_live(init);
+                leader_count_ -= leaders_removed;
+                if (store_.index().is_leader(init)) leader_count_ += k;
+                break;
+            }
+            case FaultKind::silence: break;  // unreachable (guarded above)
+        }
+        // Re-anchor single-leader detection at the post-fault configuration.
+        first_single_leader_step_ = leader_count_ == 1
+                                        ? std::optional<StepCount>(steps_)
+                                        : std::nullopt;
+    }
+
+    /// Advances the step counter through a rate-zero silence window without
+    /// touching counts or randomness.
+    void advance_silent(StepCount count) noexcept { steps_ += count; }
+
 private:
     // --- interning --------------------------------------------------------
 
@@ -210,6 +272,10 @@ private:
     /// number executed (≥ 1 for budget ≥ 1).
     StepCount round(StepCount budget) {
         if (budget == 0) return 0;
+        if (n_ < 2) {  // crash fault left a single survivor: no pairs exist
+            steps_ += budget;
+            return budget;
+        }
         const std::uint64_t run = run_sampler_.sample(rng_);
         // Room for the batch-ending collision interaction only when the
         // whole collision-free run fits in the budget.
@@ -432,6 +498,7 @@ private:
     P protocol_;
     std::size_t n_;
     Rng rng_;
+    Rng fault_rng_;  ///< fault-surgery stream; never touches the batch stream
     CollisionRunSampler run_sampler_;
     InternedCountStore<P> store_;  ///< counts + live list + touched multiset
     std::uint64_t untouched_ = 0;

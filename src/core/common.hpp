@@ -6,6 +6,7 @@
 /// Protocol Model" (PODC 2019).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstddef>
 #include <limits>
@@ -97,6 +98,19 @@ inline void ensure(bool cond, const std::string& message,
         ++bits;
     }
     return bits;
+}
+
+/// Converts a model-time point (parallel-time units) to the absolute step
+/// index at which it occurs for a population of size n: step = ceil(t * n).
+/// Model time T is the paper's parallel time — T units equal T*n steps —
+/// and both the deadline observers and the fault-injection plans anchor
+/// their triggers at exactly this step on every engine. Saturates to the
+/// maximum step count for times beyond the representable range.
+[[nodiscard]] inline StepCount model_time_to_step(double time, std::size_t n) {
+    require(time >= 0.0, "model time must be non-negative");
+    const double steps = std::ceil(time * static_cast<double>(n));
+    if (steps >= 1.8e19) return std::numeric_limits<StepCount>::max();
+    return static_cast<StepCount>(steps);
 }
 
 /// Library version, reported by tools and embedded in result artefacts.

@@ -19,11 +19,14 @@
 #include <array>
 #include <functional>
 #include <limits>
+#include <numeric>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common.hpp"
+#include "fault.hpp"
 #include "population.hpp"
 #include "protocol.hpp"
 #include "scheduler.hpp"
@@ -132,7 +135,8 @@ public:
         : protocol_(std::move(protocol)),
           population_(n, protocol_.initial_state()),
           scheduler_(n, seed),
-          thin_rng_(derive_seed(seed, 0x7468696eULL)) {  // "thin"
+          thin_rng_(derive_seed(seed, 0x7468696eULL)),  // "thin"
+          fault_rng_(derive_seed(seed, fault_stream_tag)) {
         recount_leaders();
     }
 
@@ -162,6 +166,12 @@ public:
     /// returns the pair that interacted. For rated protocols the step may be
     /// thinned to a null interaction (the pair met, nothing happened).
     Interaction step() {
+        if (population_.size() < 2) {
+            // A crash fault can leave a single survivor: no pair exists, so
+            // the scheduler ticks without an interaction.
+            ++steps_;
+            return Interaction{};
+        }
         const Interaction interaction = scheduler_.next();
         if constexpr (RatedProtocol<P>) {
             if (!fires(interaction)) {
@@ -229,6 +239,10 @@ public:
     /// changed during them. Used to validate that a detected stabilisation
     /// point really is absorbing.
     [[nodiscard]] bool verify_outputs_stable(StepCount count) {
+        if (population_.size() < 2) {  // no pairs: outputs trivially stable
+            steps_ += count;
+            return true;
+        }
         const std::size_t leaders_before = leader_count_;
         bool changed = false;
         for (StepCount i = 0; i < count; ++i) {
@@ -249,6 +263,77 @@ public:
         }
         return !changed && leader_count_ == leaders_before;
     }
+
+    // --- fault injection ---------------------------------------------------
+
+    /// Applies one crash/rejoin/reset fault between steps (the run layer
+    /// slices chunks at fault steps, so this never lands mid-interaction).
+    /// All randomness comes from the dedicated fault stream; the scheduler's
+    /// stream is untouched, so the post-fault schedule is a deterministic
+    /// function of (seed, plan). Silence is a run-layer concern and is never
+    /// forwarded here. After the mutation the single-leader detection is
+    /// re-anchored: the run layer's stabilisation step becomes the first
+    /// step at which the *post-fault* configuration has exactly one leader.
+    void apply_fault(const FaultAction& action) {
+        require(action.kind != FaultKind::silence,
+                "silence is applied by the run layer, not the engine");
+        const std::size_t n = population_.size();
+        switch (action.kind) {
+            case FaultKind::crash: {
+                std::uint64_t k = resolve_fault_count(action, n);
+                if (k >= n) k = n - 1;  // always leave one survivor
+                for (std::uint64_t i = 0; i < k; ++i) {
+                    const auto victim = static_cast<AgentId>(
+                        uniform_below(fault_rng_, population_.size()));
+                    if (protocol_.output(population_[victim]) == Role::leader) {
+                        --leader_count_;
+                    }
+                    population_.remove_swap(victim);
+                }
+                scheduler_.set_population_size(population_.size());
+                break;
+            }
+            case FaultKind::rejoin: {
+                const State fresh = protocol_.initial_state();
+                population_.append(fresh, action.count);
+                if (protocol_.output(fresh) == Role::leader) {
+                    leader_count_ += action.count;
+                }
+                scheduler_.set_population_size(population_.size());
+                break;
+            }
+            case FaultKind::reset: {
+                std::uint64_t k = resolve_fault_count(action, n);
+                if (k > n) k = n;
+                // Partial Fisher–Yates picks k distinct victims uniformly.
+                std::vector<AgentId> ids(n);
+                std::iota(ids.begin(), ids.end(), AgentId{0});
+                const State fresh = protocol_.initial_state();
+                const bool fresh_leads = protocol_.output(fresh) == Role::leader;
+                for (std::uint64_t i = 0; i < k; ++i) {
+                    const std::uint64_t j =
+                        i + uniform_below(fault_rng_, static_cast<std::uint64_t>(n) - i);
+                    std::swap(ids[i], ids[j]);
+                    State& victim = population_[ids[i]];
+                    const bool led = protocol_.output(victim) == Role::leader;
+                    leader_count_ = static_cast<std::size_t>(
+                        static_cast<long long>(leader_count_) +
+                        static_cast<int>(fresh_leads) - static_cast<int>(led));
+                    victim = fresh;
+                }
+                break;
+            }
+            case FaultKind::silence: break;  // unreachable (guarded above)
+        }
+        first_single_leader_step_ = leader_count_ == 1
+                                        ? std::optional<StepCount>(steps_)
+                                        : std::nullopt;
+    }
+
+    /// Advances the step counter through a rate-zero silence window: the
+    /// scheduler ticks `count` times with no pair reacting. Consumes no
+    /// randomness, so the post-window schedule stream is unperturbed.
+    void advance_silent(StepCount count) noexcept { steps_ += count; }
 
     /// Recomputes the leader count from scratch (O(n)); the engine keeps the
     /// count incrementally, so this exists for tests and defensive checks.
@@ -292,6 +377,7 @@ private:
     Population<State> population_;
     UniformScheduler scheduler_;
     Rng thin_rng_;  ///< rate-thinning stream (only drawn from by rated protocols)
+    Rng fault_rng_;  ///< fault-surgery stream (only drawn from by apply_fault)
     StepCount steps_ = 0;
     std::size_t leader_count_ = 0;
     std::optional<StepCount> first_single_leader_step_;

@@ -1,0 +1,252 @@
+/// \file fault.hpp
+/// \brief Fault-injection plans: model-time-triggered crash / rejoin /
+/// reset / silence actions applied exactly and deterministically by every
+/// engine.
+///
+/// The paper's protocols are interesting precisely where things go wrong —
+/// the loosely-stabilizing line (loose_sud12) and the companion lower bound
+/// are about *re*-electing after disruption. A `FaultPlan` is an ordered
+/// list of `{model time, action}` pairs; the run layer
+/// (src/core/simulation.hpp) slices the step budget at each fault's step
+/// (step = ⌈t·n₀⌉, the same anchoring as DeadlineObserver) and hands the
+/// action to the engine between chunks, so a fault at model time T lands
+/// after *exactly* ⌈T·n₀⌉ interactions on every engine — agent, batched
+/// and gillespie alike.
+///
+/// Action semantics (n = current population, n₀ = population at plan
+/// attach time; fractions resolve against the *current* n):
+///
+///  * `crash(fraction|count)` — remove k uniformly random agents. The
+///    population shrinks; parallel-time conversion and protocol parameters
+///    stay anchored at n₀ (documented in docs/ARCHITECTURE.md).
+///  * `rejoin(count)` — inject k fresh agents in the protocol's initial
+///    state (new contenders: for an election this reopens the race).
+///  * `reset(fraction|count)` — adversarial corruption: k uniformly random
+///    agents are overwritten with the initial state. Population unchanged.
+///  * `silence(duration)` — a rate-zero window: for ⌈duration·n₀⌉ steps
+///    the scheduler ticks (steps advance, observers fire) but no pair
+///    reacts. Handled by the run layer; engines never see it.
+///
+/// Determinism: every engine owns a dedicated `fault_rng_` stream (seeded
+/// `derive_seed(seed, fault_stream_tag)` at construction, like the rated
+/// thinning stream), so fault randomness never perturbs the main schedule
+/// stream — no-fault runs keep bit-identical golden-seed streams, and the
+/// same seed + plan replays the same post-fault stream on each engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "count_store.hpp"
+#include "random.hpp"
+
+namespace ppsim {
+
+/// The four fault actions of the scenario engine.
+enum class FaultKind : std::uint8_t {
+    crash = 0,    ///< remove agents uniformly at random
+    rejoin = 1,   ///< inject fresh agents in the initial state
+    reset = 2,    ///< overwrite random agents with the initial state
+    silence = 3,  ///< rate-zero window: steps tick, nothing reacts
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FaultKind kind) noexcept {
+    switch (kind) {
+        case FaultKind::crash: return "crash";
+        case FaultKind::rejoin: return "rejoin";
+        case FaultKind::reset: return "reset";
+        case FaultKind::silence: return "silence";
+    }
+    return "unknown";
+}
+
+/// One fault action. `count > 0` selects an absolute number of agents;
+/// otherwise `fraction` of the *current* population (rounded to nearest,
+/// at least one agent). `duration` is only meaningful for silence.
+struct FaultAction {
+    FaultKind kind = FaultKind::crash;
+    double fraction = 0.0;     ///< fraction of the current population (crash/reset)
+    std::uint64_t count = 0;   ///< absolute agent count (crash/rejoin/reset)
+    double duration = 0.0;     ///< silence window length, parallel-time units
+
+    [[nodiscard]] static FaultAction crash_fraction(double f) {
+        return FaultAction{FaultKind::crash, f, 0, 0.0};
+    }
+    [[nodiscard]] static FaultAction crash_count(std::uint64_t k) {
+        return FaultAction{FaultKind::crash, 0.0, k, 0.0};
+    }
+    [[nodiscard]] static FaultAction rejoin_count(std::uint64_t k) {
+        return FaultAction{FaultKind::rejoin, 0.0, k, 0.0};
+    }
+    [[nodiscard]] static FaultAction reset_fraction(double f) {
+        return FaultAction{FaultKind::reset, f, 0, 0.0};
+    }
+    [[nodiscard]] static FaultAction reset_count(std::uint64_t k) {
+        return FaultAction{FaultKind::reset, 0.0, k, 0.0};
+    }
+    [[nodiscard]] static FaultAction transient_silence(double duration) {
+        return FaultAction{FaultKind::silence, 0.0, 0, duration};
+    }
+};
+
+/// A fault at a model-time point (parallel-time units, anchored at the
+/// population size when the plan is attached).
+struct TimedFault {
+    double time = 0.0;
+    FaultAction action;
+};
+
+/// An ordered fault schedule. Order of insertion breaks ties at equal
+/// times (the run layer stable-sorts by step).
+struct FaultPlan {
+    std::vector<TimedFault> faults;
+
+    [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return faults.size(); }
+
+    FaultPlan& add(double time, FaultAction action) {
+        faults.push_back(TimedFault{time, std::move(action)});
+        return *this;
+    }
+};
+
+/// Validates one action's parameters (throws InvalidArgument). Shared by
+/// the CLI parser and `Simulation::set_fault_plan`.
+inline void validate_fault_action(const FaultAction& a) {
+    switch (a.kind) {
+        case FaultKind::crash:
+        case FaultKind::reset:
+            require(a.count > 0 || (a.fraction > 0.0 && a.fraction <= 1.0),
+                    std::string(to_string(a.kind)) +
+                        " needs a count >= 1 or a fraction in (0, 1]");
+            break;
+        case FaultKind::rejoin:
+            require(a.count > 0, "rejoin needs a count >= 1");
+            break;
+        case FaultKind::silence:
+            require(a.duration > 0.0, "silence needs a positive duration");
+            break;
+    }
+}
+
+/// Resolves an action to an agent count against the current population:
+/// absolute counts pass through, fractions round to nearest with a floor
+/// of one agent (a scheduled fault always does *something*).
+[[nodiscard]] inline std::uint64_t resolve_fault_count(const FaultAction& a,
+                                                       std::uint64_t population) {
+    if (a.count > 0) return a.count;
+    const double k = a.fraction * static_cast<double>(population);
+    const auto rounded = static_cast<std::uint64_t>(k + 0.5);
+    return rounded == 0 ? 1 : rounded;
+}
+
+/// Parses one `--inject` specification:
+///
+///     t=<time>:crash=<fraction|count>
+///     t=<time>:rejoin=<count>
+///     t=<time>:reset=<fraction|count>
+///     t=<time>:silence=<duration>
+///
+/// A value containing '.' or an exponent is a fraction (crash/reset) or a
+/// duration (silence); a plain integer is an absolute agent count. Throws
+/// InvalidArgument on malformed specs.
+[[nodiscard]] inline TimedFault parse_fault_spec(const std::string& spec) {
+    const auto fail = [&spec](const std::string& why) -> TimedFault {
+        throw InvalidArgument("bad fault spec '" + spec + "': " + why +
+                              " (expected t=<time>:crash|rejoin|reset|silence=<value>)");
+    };
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) return fail("missing ':'");
+    const std::string time_part = spec.substr(0, colon);
+    const std::string action_part = spec.substr(colon + 1);
+    if (time_part.rfind("t=", 0) != 0) return fail("time must be 't=<time>'");
+    const std::size_t eq = action_part.find('=');
+    if (eq == std::string::npos) return fail("missing '=' after the action name");
+    const std::string name = action_part.substr(0, eq);
+    const std::string value = action_part.substr(eq + 1);
+    if (value.empty()) return fail("empty value");
+
+    TimedFault out;
+    try {
+        out.time = std::stod(time_part.substr(2));
+    } catch (const std::exception&) {
+        return fail("not a model-time point: '" + time_part.substr(2) + "'");
+    }
+    if (out.time < 0.0) return fail("time must be non-negative");
+
+    const bool fractional = value.find_first_of(".eE") != std::string::npos;
+    double as_double = 0.0;
+    std::uint64_t as_count = 0;
+    try {
+        if (fractional) {
+            as_double = std::stod(value);
+        } else {
+            as_count = std::stoull(value);
+        }
+    } catch (const std::exception&) {
+        return fail("not a numeric value: '" + value + "'");
+    }
+
+    if (name == "crash") {
+        out.action = fractional ? FaultAction::crash_fraction(as_double)
+                                : FaultAction::crash_count(as_count);
+    } else if (name == "rejoin") {
+        if (fractional) return fail("rejoin takes an absolute agent count");
+        out.action = FaultAction::rejoin_count(as_count);
+    } else if (name == "reset") {
+        out.action = fractional ? FaultAction::reset_fraction(as_double)
+                                : FaultAction::reset_count(as_count);
+    } else if (name == "silence") {
+        out.action = FaultAction::transient_silence(
+            fractional ? as_double : static_cast<double>(as_count));
+    } else {
+        return fail("unknown action '" + name + "'");
+    }
+    validate_fault_action(out.action);
+    return out;
+}
+
+/// PRNG stream tag of the per-engine fault stream ("faul"): engines seed
+/// `fault_rng_` with `derive_seed(seed, fault_stream_tag)` at construction
+/// so fault randomness never touches the main schedule stream.
+inline constexpr std::uint64_t fault_stream_tag = 0x6661756cULL;
+
+/// Count-vector surgery shared by the batched and gillespie engines:
+/// removes `k` agents drawn uniformly without replacement from a
+/// configuration of `total` agents held in `store` — a multivariate
+/// hypergeometric split realised as the same conditional chain the batched
+/// engine uses for its multisets. Compacts the live list and returns the
+/// number of removed agents whose state outputs leader, so the caller can
+/// maintain its leader count incrementally.
+template <typename P>
+[[nodiscard]] std::uint64_t remove_uniform_agents(InternedCountStore<P>& store,
+                                                  Rng& rng, std::uint64_t k,
+                                                  std::uint64_t total) {
+    ensure(k <= total, "fault surgery cannot remove more agents than exist");
+    std::uint64_t pool = total;
+    std::uint64_t remaining = k;
+    std::uint64_t leaders_removed = 0;
+    auto& counts = store.counts();
+    for (const StateId id : store.live_ids()) {
+        if (remaining == 0) break;
+        const std::uint64_t c = counts[id];
+        if (c == 0) continue;
+        const std::uint64_t x =
+            c >= pool ? remaining : hypergeometric(rng, pool, c, remaining);
+        pool -= c;
+        if (x > 0) {
+            counts[id] -= x;
+            remaining -= x;
+            if (store.index().is_leader(id)) leaders_removed += x;
+        }
+    }
+    ensure(remaining == 0, "fault surgery failed to place all removals");
+    store.compact_live();
+    return leaders_removed;
+}
+
+}  // namespace ppsim

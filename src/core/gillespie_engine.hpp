@@ -80,6 +80,7 @@
 #include "common.hpp"
 #include "count_store.hpp"
 #include "engine.hpp"  // RunResult
+#include "fault.hpp"
 #include "protocol.hpp"
 #include "random.hpp"
 #include "state_index.hpp"
@@ -127,7 +128,10 @@ public:
     static constexpr StepCount categorical_chunk = 4096;
 
     GillespieEngine(P protocol, std::size_t n, std::uint64_t seed)
-        : protocol_(std::move(protocol)), n_(n), rng_(seed) {
+        : protocol_(std::move(protocol)),
+          n_(n),
+          rng_(seed),
+          fault_rng_(derive_seed(seed, fault_stream_tag)) {
         require(n >= 2, "population must contain at least two agents");
         // Channel weights c_a·c_b are computed in 64 bits; n ≤ 2^32 keeps
         // them (and their sum, ≤ n(n−1)) below 2^64, matching the agent-id
@@ -261,6 +265,64 @@ public:
         return !role_change_seen_ && leader_count_ == leaders_before;
     }
 
+    // --- fault injection ---------------------------------------------------
+
+    /// Applies one crash/rejoin/reset fault between rounds by count-vector
+    /// surgery on the shared store. No explicit propensity invalidation is
+    /// needed: the channel list is rebuilt from the live counts at the top
+    /// of every round (`build_channels` / the leap multiset chains read the
+    /// counts directly), and the transition cache is keyed on state ids,
+    /// which surgery never perturbs. All randomness comes from the
+    /// dedicated fault stream, so the post-fault SSA stream replays
+    /// deterministically. Silence never reaches the engine.
+    void apply_fault(const FaultAction& action) {
+        require(action.kind != FaultKind::silence,
+                "silence is applied by the run layer, not the engine");
+        switch (action.kind) {
+            case FaultKind::crash: {
+                std::uint64_t k = resolve_fault_count(action, n_);
+                if (k >= n_) k = n_ - 1;  // always leave one survivor
+                const std::uint64_t leaders_removed =
+                    remove_uniform_agents(store_, fault_rng_, k, n_);
+                n_ -= k;
+                leader_count_ -= leaders_removed;
+                break;
+            }
+            case FaultKind::rejoin: {
+                const std::uint64_t k = action.count;
+                require(n_ + k <= (std::uint64_t{1} << 32U),
+                        "rejoin would grow the population past 2^32 agents");
+                const StateId init = intern(protocol_.initial_state());
+                store_.counts()[init] += k;
+                store_.make_live(init);
+                n_ += k;
+                if (store_.index().is_leader(init)) leader_count_ += k;
+                break;
+            }
+            case FaultKind::reset: {
+                std::uint64_t k = resolve_fault_count(action, n_);
+                if (k > n_) k = n_;
+                const std::uint64_t leaders_removed =
+                    remove_uniform_agents(store_, fault_rng_, k, n_);
+                const StateId init = intern(protocol_.initial_state());
+                store_.counts()[init] += k;
+                store_.make_live(init);
+                leader_count_ -= leaders_removed;
+                if (store_.index().is_leader(init)) leader_count_ += k;
+                break;
+            }
+            case FaultKind::silence: break;  // unreachable (guarded above)
+        }
+        // Re-anchor single-leader detection at the post-fault configuration.
+        first_single_leader_step_ = leader_count_ == 1
+                                        ? std::optional<StepCount>(steps_)
+                                        : std::nullopt;
+    }
+
+    /// Advances the step counter through a rate-zero silence window without
+    /// touching counts or randomness.
+    void advance_silent(StepCount count) noexcept { steps_ += count; }
+
 private:
     /// One non-null reaction channel: the ordered state pair and its current
     /// propensity weight. `weight` is the structural part c_a·(c_b − [a = b])
@@ -298,6 +360,10 @@ private:
     /// budget ≥ 1).
     StepCount round(StepCount budget, bool stop_at_single_leader) {
         if (budget == 0) return 0;
+        if (n_ < 2) {  // crash fault left a single survivor: no pairs exist
+            steps_ += budget;
+            return budget;
+        }
         store_.compact_live();
         const std::size_t d = store_.live_ids().size();
         const StepCount leap_len =
@@ -610,6 +676,7 @@ private:
     P protocol_;
     std::size_t n_;
     Rng rng_;
+    Rng fault_rng_;  ///< fault-surgery stream; never touches the SSA stream
     InternedCountStore<P> store_;  ///< counts + live list + touched multiset
     TransitionCache cache_;
     std::vector<Channel> channels_;       ///< non-null channels (rebuilt per SSA event)

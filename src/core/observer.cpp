@@ -150,18 +150,6 @@ std::optional<StepCount> ConvergenceObserver::first_step_at_or_below(
 
 // --- DeadlineObserver -------------------------------------------------------
 
-namespace {
-
-/// ⌈time · n⌉ as a step index, saturating near the StepCount ceiling.
-[[nodiscard]] StepCount model_time_to_step(double time, std::size_t n) {
-    require(time >= 0.0, "model-time point must be non-negative");
-    const double steps = std::ceil(time * static_cast<double>(n));
-    if (steps >= 1.8e19) return std::numeric_limits<StepCount>::max();
-    return static_cast<StepCount>(steps);
-}
-
-}  // namespace
-
 DeadlineObserver::DeadlineObserver(double model_time, std::size_t n)
     : DeadlineObserver(model_time_to_step(model_time, n)) {}
 
@@ -269,5 +257,41 @@ void write_timed_snapshots_csv(const std::string& path,
     out.flush();
     require(out.good(), "failed writing snapshot file: " + path);
 }
+
+// --- RecoveryObserver -------------------------------------------------------
+
+RecoveryObserver::RecoveryObserver(std::size_t n0) : n0_(n0) {
+    require(n0 >= 1, "recovery observer needs the initial population size");
+}
+
+void RecoveryObserver::observe(const Simulation& sim) {
+    // Open a record for every fault applied since the last observation.
+    // Silence faults freeze the configuration rather than perturbing it, so
+    // they have no recovery to measure.
+    while (tracked_ < sim.faults_applied()) {
+        const Simulation::ScheduledFault& fault = sim.scheduled_fault(tracked_);
+        if (fault.action.kind != FaultKind::silence) {
+            RecoveryRecord record;
+            record.fault_index = tracked_;
+            record.fault_step = fault.step;
+            record.fault_time = fault.time;
+            records_.push_back(record);
+        }
+        ++tracked_;
+    }
+    // Resolve every open record the current stabilisation covers. The
+    // engine's stabilisation step re-anchors on each fault, so a value at or
+    // after a record's fault step is that fault's recovery point; faults that
+    // overlapped (a second hit before the first recovered) resolve together.
+    const std::optional<StepCount> stab = sim.stabilization_step();
+    if (!stab) return;
+    for (RecoveryRecord& record : records_) {
+        if (!record.recovery_step && *stab >= record.fault_step) {
+            record.recovery_step = *stab;
+        }
+    }
+}
+
+void RecoveryObserver::finish(const Simulation& sim) { observe(sim); }
 
 }  // namespace ppsim

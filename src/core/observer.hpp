@@ -243,4 +243,49 @@ void write_timed_snapshots_csv(std::ostream& out,
 void write_timed_snapshots_csv(const std::string& path,
                                const std::vector<TimedSnapshot>& snapshots);
 
+/// One fault's recovery record: when the fault fired and when (if ever) the
+/// population was next stabilised on a single leader at or after it.
+struct RecoveryRecord {
+    std::size_t fault_index = 0;  ///< index into the simulation's fault plan
+    StepCount fault_step = 0;     ///< absolute step the fault fired at
+    double fault_time = 0.0;      ///< the plan's model time (units of n₀)
+    std::optional<StepCount> recovery_step;  ///< first stabilisation ≥ fault_step
+
+    /// Recovery span in parallel time (units of n₀); unset while unrecovered.
+    [[nodiscard]] std::optional<double> recovery_time(std::size_t n0) const noexcept {
+        if (!recovery_step) return std::nullopt;
+        return to_parallel_time(*recovery_step - fault_step, n0);
+    }
+};
+
+/// Measures time-to-re-stabilisation after each injected fault: one record
+/// per non-silence fault, resolved when the engine next reports a
+/// stabilisation step at or after the fault. Needs no deadline of its own —
+/// the run layer already slices chunks at every fault step, so this observer
+/// sees each fault the moment it applies. Overlapping faults (a second fault
+/// before the first recovered) both resolve at the same later stabilisation.
+/// Behind `SweepConfig::fault_plan` and `ppsim_sim --inject`.
+class RecoveryObserver final : public SimulationObserver {
+public:
+    /// \param n0  initial population size (the model-time unit of the plan)
+    explicit RecoveryObserver(std::size_t n0);
+
+    [[nodiscard]] StepCount next_due() const noexcept override { return no_deadline; }
+    void observe(const Simulation& sim) override;
+    void finish(const Simulation& sim) override;
+
+    /// One record per applied non-silence fault, in firing order.
+    [[nodiscard]] const std::vector<RecoveryRecord>& records() const noexcept {
+        return records_;
+    }
+
+    /// The n₀ the observer was constructed with.
+    [[nodiscard]] std::size_t initial_population() const noexcept { return n0_; }
+
+private:
+    std::size_t n0_;
+    std::size_t tracked_ = 0;  ///< scheduled faults already turned into records
+    std::vector<RecoveryRecord> records_;
+};
+
 }  // namespace ppsim

@@ -43,6 +43,21 @@ public:
         std::fill(states_.begin(), states_.end(), initial);
     }
 
+    /// Appends `k` agents in state `s` (fault injection: rejoin).
+    void append(const State& s, std::size_t k) {
+        states_.insert(states_.end(), k, s);
+    }
+
+    /// Removes agent `id` by swapping with the last agent and popping
+    /// (fault injection: crash). Identities are not stable across removals
+    /// — irrelevant under the uniform scheduler, which carries no
+    /// per-agent state. May shrink the population below two; the engine
+    /// guards its stepping paths for that degenerate case.
+    void remove_swap(AgentId id) {
+        states_[id] = states_.back();
+        states_.pop_back();
+    }
+
 private:
     std::vector<State> states_;
 };

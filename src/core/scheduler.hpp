@@ -66,6 +66,20 @@ public:
 
     [[nodiscard]] std::size_t population_size() const noexcept { return n_; }
 
+    /// Re-targets the scheduler after the population changed size (fault
+    /// injection: crash/rejoin). Accepts any n ≥ 1 — the engine guards its
+    /// stepping paths so next() is never called while n < 2. The PRNG
+    /// stream continues uninterrupted, which is what keeps seeded
+    /// post-fault replay deterministic.
+    void set_population_size(std::size_t n) {
+        require(n >= 1, "population cannot be empty");
+        n_ = n;
+        ordered_pairs_ = 0;
+        if (n_ >= 2 && n_ <= (std::uint64_t{1} << 32U)) {
+            ordered_pairs_ = static_cast<std::uint64_t>(n_) * (n_ - 1);
+        }
+    }
+
     /// Access to the underlying generator, e.g. to fork auxiliary streams.
     [[nodiscard]] Rng& rng() noexcept { return rng_; }
 

@@ -33,6 +33,7 @@
 #include "batched_engine.hpp"
 #include "common.hpp"
 #include "engine.hpp"
+#include "fault.hpp"
 #include "gillespie_engine.hpp"
 #include "protocol.hpp"
 
@@ -155,17 +156,76 @@ public:
     /// cadence but no `finish` (a run_for may be one slice of a larger
     /// caller-driven loop).
     RunResult run_for(StepCount count) {
-        if (observers_.empty()) return run_for_impl(count);
-        return run_observed(count, /*stop_at_single_leader=*/false,
-                            /*notify_finish=*/false);
+        if (observers_.empty() && !driving_needed()) return run_for_impl(count);
+        return run_driven(count, /*stop_at_single_leader=*/false,
+                          /*notify_finish=*/false);
     }
 
     /// Runs until exactly one leader remains or `max_steps` further
-    /// interactions have been executed, whichever comes first.
+    /// interactions have been executed, whichever comes first. When a fault
+    /// plan is attached, "one leader" only terminates the run once every
+    /// scheduled fault has been applied: an election that stabilises before
+    /// a pending crash/reset must survive the fault (and re-stabilise) to
+    /// count, so the loop keeps running until the plan is exhausted or the
+    /// budget is.
     RunResult run_until_one_leader(StepCount max_steps) {
-        if (observers_.empty()) return run_until_one_leader_impl(max_steps);
-        return run_observed(max_steps, /*stop_at_single_leader=*/true,
-                            /*notify_finish=*/true);
+        if (observers_.empty() && !driving_needed()) {
+            return run_until_one_leader_impl(max_steps);
+        }
+        return run_driven(max_steps, /*stop_at_single_leader=*/true,
+                          /*notify_finish=*/true);
+    }
+
+    // --- fault injection --------------------------------------------------
+
+    /// One entry of an attached fault plan, resolved to an absolute step.
+    struct ScheduledFault {
+        StepCount step = 0;    ///< absolute step index at which the fault fires
+        double time = 0.0;     ///< the plan's model time (units of n₀)
+        FaultAction action;    ///< what happens
+    };
+
+    /// Attaches a fault plan. Must be called before the first interaction:
+    /// fault times are model times in units of the *initial* population n₀
+    /// (fault at time t fires at step ⌈t·n₀⌉), so the conversion is anchored
+    /// at attach. Faults at the same time fire in plan order.
+    void set_fault_plan(const FaultPlan& plan) {
+        require(steps() == 0, "fault plan must be attached before the run starts");
+        fault_n0_ = population_size();
+        scheduled_faults_.clear();
+        fault_cursor_ = 0;
+        silence_until_ = 0;
+        scheduled_faults_.reserve(plan.faults.size());
+        for (const TimedFault& tf : plan.faults) {
+            validate_fault_action(tf.action);
+            scheduled_faults_.push_back(ScheduledFault{
+                model_time_to_step(tf.time, fault_n0_), tf.time, tf.action});
+        }
+        std::stable_sort(scheduled_faults_.begin(), scheduled_faults_.end(),
+                         [](const ScheduledFault& a, const ScheduledFault& b) {
+                             return a.step < b.step;
+                         });
+    }
+
+    /// Number of faults in the attached plan (0 when none).
+    [[nodiscard]] std::size_t fault_count() const noexcept {
+        return scheduled_faults_.size();
+    }
+
+    /// Number of scheduled faults already applied (monotone during a run;
+    /// silence faults count as applied the moment their window opens).
+    [[nodiscard]] std::size_t faults_applied() const noexcept { return fault_cursor_; }
+
+    /// The i-th scheduled fault, in firing order.
+    [[nodiscard]] const ScheduledFault& scheduled_fault(std::size_t i) const {
+        require(i < scheduled_faults_.size(), "scheduled fault index out of range");
+        return scheduled_faults_[i];
+    }
+
+    /// Initial population size recorded when the fault plan was attached
+    /// (0 when no plan is attached) — the n₀ of the model-time contract.
+    [[nodiscard]] std::size_t fault_initial_population() const noexcept {
+        return fault_n0_;
     }
 
     /// Runs `count` additional interactions and reports whether every
@@ -193,32 +253,64 @@ protected:
     virtual RunResult run_for_impl(StepCount count) = 0;
     virtual RunResult run_until_one_leader_impl(StepCount max_steps) = 0;
     virtual bool verify_outputs_stable_impl(StepCount count) = 0;
+    /// Applies one non-silence fault action to the engine's configuration.
+    virtual void apply_fault_impl(const FaultAction& action) = 0;
+    /// Advances the step counter by `count` without any interactions
+    /// (transient silence: model time passes, nothing happens).
+    virtual void advance_silent_impl(StepCount count) = 0;
 
 private:
-    /// The observed run loop: advance in chunks sliced at the earliest
-    /// observer deadline, notifying at every boundary. The engine's own
-    /// specialised loop runs inside each chunk.
-    RunResult run_observed(StepCount budget, bool stop_at_single_leader,
-                           bool notify_finish) {
+    /// Faults not yet fired from the attached plan.
+    [[nodiscard]] bool faults_pending() const noexcept {
+        return fault_cursor_ < scheduled_faults_.size();
+    }
+
+    /// True when the run loop must slice chunks itself (pending faults or an
+    /// open silence window) instead of delegating to the engine's loop.
+    [[nodiscard]] bool driving_needed() const noexcept {
+        return faults_pending() || steps() < silence_until_;
+    }
+
+    /// The driven run loop: advance in chunks sliced at the earliest
+    /// observer deadline and the next scheduled fault, notifying at every
+    /// boundary and applying due faults exactly at their step. The engine's
+    /// own specialised loop runs inside each chunk. Observers notified at a
+    /// fault-step boundary see the *pre-fault* configuration first (the
+    /// boundary notify), then the post-fault one (the notify inside
+    /// apply_due_faults) — a deadline census at the fault step reports the
+    /// world the instant before the fault.
+    RunResult run_driven(StepCount budget, bool stop_at_single_leader,
+                         bool notify_finish) {
         const StepCount start = steps();
         const StepCount end =
             budget > std::numeric_limits<StepCount>::max() - start
                 ? std::numeric_limits<StepCount>::max()
                 : start + budget;
         notify();
-        while (!(stop_at_single_leader && leader_count() == 1) && steps() < end) {
+        apply_due_faults();  // time-0 faults fire before any interaction
+        while (true) {
             const StepCount now = steps();
+            if (stop_at_single_leader && leader_count() == 1 && !faults_pending()) break;
+            if (now >= end) break;
             StepCount next = end;
             for (const SimulationObserver* obs : observers_) {
                 next = std::min(next, std::max(obs->next_due(), now + 1));
             }
+            if (faults_pending()) {
+                next = std::min(next,
+                                std::max(scheduled_faults_[fault_cursor_].step, now + 1));
+            }
+            if (now < silence_until_) next = std::min(next, silence_until_);
             const StepCount chunk = next - now;
-            if (stop_at_single_leader) {
+            if (now < silence_until_) {
+                advance_silent_impl(std::min(chunk, silence_until_ - now));
+            } else if (stop_at_single_leader && !faults_pending()) {
                 (void)run_until_one_leader_impl(chunk);
             } else {
                 (void)run_for_impl(chunk);
             }
             notify();
+            apply_due_faults();
         }
         if (notify_finish) {
             for (SimulationObserver* obs : observers_) obs->finish(*this);
@@ -226,11 +318,38 @@ private:
         return run_for_impl(0);  // assembles the RunResult for the current state
     }
 
+    /// Fires every scheduled fault whose step has been reached. Silence
+    /// opens (or extends) the no-interaction window; everything else mutates
+    /// the configuration through the engine. Observers are notified after
+    /// each applied fault so they can see each post-fault configuration.
+    void apply_due_faults() {
+        while (faults_pending() && scheduled_faults_[fault_cursor_].step <= steps()) {
+            const ScheduledFault& fault = scheduled_faults_[fault_cursor_];
+            ++fault_cursor_;
+            if (fault.action.kind == FaultKind::silence) {
+                const StepCount len = model_time_to_step(fault.action.duration, fault_n0_);
+                const StepCount now = steps();
+                const StepCount until =
+                    len > std::numeric_limits<StepCount>::max() - now
+                        ? std::numeric_limits<StepCount>::max()
+                        : now + len;
+                silence_until_ = std::max(silence_until_, until);
+            } else {
+                apply_fault_impl(fault.action);
+            }
+            notify();
+        }
+    }
+
     void notify() {
         for (SimulationObserver* obs : observers_) obs->observe(*this);
     }
 
     std::vector<SimulationObserver*> observers_;
+    std::vector<ScheduledFault> scheduled_faults_;  ///< plan, sorted by step
+    std::size_t fault_cursor_ = 0;   ///< next scheduled fault to fire
+    StepCount silence_until_ = 0;    ///< absolute step where silence ends
+    std::size_t fault_n0_ = 0;       ///< population at plan attach (time unit)
 };
 
 /// Runs `sim` to a single leader within `max_steps`, then (optionally)
@@ -322,6 +441,12 @@ protected:
     bool verify_outputs_stable_impl(StepCount count) override {
         return engine_.verify_outputs_stable(count);
     }
+    void apply_fault_impl(const FaultAction& action) override {
+        engine_.apply_fault(action);
+    }
+    void advance_silent_impl(StepCount count) override {
+        engine_.advance_silent(count);
+    }
 
 private:
     Engine<P> engine_;
@@ -385,6 +510,12 @@ protected:
     }
     bool verify_outputs_stable_impl(StepCount count) override {
         return engine_.verify_outputs_stable(count);
+    }
+    void apply_fault_impl(const FaultAction& action) override {
+        engine_.apply_fault(action);
+    }
+    void advance_silent_impl(StepCount count) override {
+        engine_.advance_silent(count);
     }
 
 private:

@@ -90,8 +90,10 @@ std::unique_ptr<Simulation> ProtocolRegistry::make_simulation(const std::string&
 
 RunResult ProtocolRegistry::run_election(const std::string& name, std::size_t n,
                                          std::uint64_t seed, StepCount max_steps,
-                                         EngineKind engine, BatchMode batch_mode) const {
+                                         EngineKind engine, BatchMode batch_mode,
+                                         const FaultPlan& faults) const {
     const auto sim = make_simulation(name, n, seed, engine, batch_mode);
+    if (!faults.empty()) sim->set_fault_plan(faults);
     return run_to_single_leader(*sim, max_steps);
 }
 

@@ -53,11 +53,15 @@ public:
 
     /// Runs a full election of `name` on n agents with the given seed.
     /// `max_steps` bounds the run; `engine` selects the back-end (the fast
-    /// templated agent engine, or the count-based batched engine).
+    /// templated agent engine, or the count-based batched engine). A
+    /// non-empty `faults` plan (core/fault.hpp) is injected into the run:
+    /// the election then only counts as stabilised once every scheduled
+    /// fault has been applied and survived.
     [[nodiscard]] RunResult run_election(const std::string& name, std::size_t n,
                                          std::uint64_t seed, StepCount max_steps,
                                          EngineKind engine = EngineKind::agent,
-                                         BatchMode batch_mode = BatchMode::automatic) const;
+                                         BatchMode batch_mode = BatchMode::automatic,
+                                         const FaultPlan& faults = {}) const;
 
     /// As run_election, but additionally verifies output stability over
     /// `verify_steps` extra interactions; sets `converged = false` if any

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/scenario.hpp"
+#include "core/observer.hpp"
 #include "core/random.hpp"
 #include "core/stats.hpp"
 #include "protocols/registry.hpp"
@@ -158,6 +160,84 @@ TEST(LeapRegimeAgreement, RatedElectionGillespieMatchesBatchedAt8192) {
     const std::size_t n = 8192;
     expect_agreement("rated_election", n, 120, static_cast<StepCount>(n) * n * 8,
                      EngineKind::gillespie, EngineKind::batched, 101, 202);
+}
+
+// --- post-fault recovery agreement ------------------------------------------
+//
+// The fault pipeline (core/fault.hpp) must not perturb the sampled chain
+// beyond the surgery itself: after the churn_election scenario's final reset
+// wave, the time to re-stabilise is a random variable of the same Markov
+// chain on all three engines. These suites compare the recovery-time
+// distributions of the *last* fault per repetition — the full crash → rejoin
+// → reset history feeds into it, so a biased victim sampler, a mis-anchored
+// fault step, or a broken post-fault leader census on any engine shifts the
+// distribution and KS rejects.
+
+/// Recovery times (parallel-time units) of the final churn_election fault
+/// over `reps` seeded runs.
+std::vector<double> churn_recovery_times(std::size_t n, EngineKind engine, int reps,
+                                         std::uint64_t seed_root, StepCount budget) {
+    const ChaosScenario& scenario = find_chaos_scenario("churn_election");
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        const auto sim = registry.make_simulation(scenario.protocol, n,
+                                                  derive_seed(seed_root, i), engine);
+        sim->set_fault_plan(scenario.make_plan(n));
+        RecoveryObserver recovery(n);
+        sim->add_observer(recovery);
+        const RunResult r = sim->run_until_one_leader(budget);
+        if (!r.converged || recovery.records().empty() ||
+            !recovery.records().back().recovery_step) {
+            ADD_FAILURE() << "churn_election rep " << i << " on " << to_string(engine)
+                          << " never recovered within the budget";
+            return {};
+        }
+        out.push_back(*recovery.records().back().recovery_time(n));
+    }
+    return out;
+}
+
+void expect_recovery_agreement(std::size_t n, int reps, StepCount budget,
+                               EngineKind lhs, EngineKind rhs,
+                               std::uint64_t root_lhs, std::uint64_t root_rhs) {
+    std::vector<double> a = churn_recovery_times(n, lhs, reps, root_lhs, budget);
+    std::vector<double> b = churn_recovery_times(n, rhs, reps, root_rhs, budget);
+    if (a.empty() || b.empty()) return;  // helper already failed the test
+    const KsTestResult ks = ks_two_sample(a, b);
+    EXPECT_GE(ks.p_value, ks_alpha)
+        << "churn_election recovery @ n=" << n << ": " << to_string(lhs) << " vs "
+        << to_string(rhs) << " disagree (D=" << ks.statistic << ", p=" << ks.p_value
+        << ")";
+}
+
+TEST(ChurnRecoveryAgreement, AgentVsBatchedAt64) {
+    const std::size_t n = 64;
+    expect_recovery_agreement(n, 250, static_cast<StepCount>(n) * n * 300,
+                              EngineKind::agent, EngineKind::batched, 401, 402);
+}
+
+TEST(ChurnRecoveryAgreement, AgentVsGillespieAt64) {
+    const std::size_t n = 64;
+    expect_recovery_agreement(n, 250, static_cast<StepCount>(n) * n * 300,
+                              EngineKind::agent, EngineKind::gillespie, 401, 403);
+}
+
+TEST(ChurnRecoveryAgreement, BatchedVsGillespieAt64) {
+    const std::size_t n = 64;
+    expect_recovery_agreement(n, 250, static_cast<StepCount>(n) * n * 300,
+                              EngineKind::batched, EngineKind::gillespie, 402, 403);
+}
+
+TEST(ChurnRecoveryAgreement, GillespieMatchesBatchedAt8192) {
+    // The leap regime: post-fault recovery under τ-leaping must match the
+    // batched engine's exact hypergeometric batches. The reset wave drops the
+    // population back into a wide contention profile mid-run, which is
+    // exactly where a leaping bias would concentrate.
+    const std::size_t n = 8192;
+    expect_recovery_agreement(n, 120, static_cast<StepCount>(n) * n * 8,
+                              EngineKind::gillespie, EngineKind::batched, 501, 502);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 //
 //   ppsim_sim --protocol pll --n 4096 --seed 7 --reps 50 --json out.json
 //   ppsim_sim --protocol pll --n 65536 --engine batched --trajectory traj.csv
+//   ppsim_sim --protocol lottery --inject "t=5:crash=0.3" --inject "t=8:reset=0.1"
+//   ppsim_sim --scenario churn_election --engine gillespie --n 8192
 //   ppsim_sim --protocol angluin06 --model-check --n 4
 //   ppsim_sim --list
 #include <algorithm>
@@ -12,8 +14,10 @@
 #include "analysis/experiment.hpp"
 #include "analysis/model_checker.hpp"
 #include "analysis/report.hpp"
+#include "analysis/scenario.hpp"
 #include "analysis/statespace.hpp"
 #include "core/args.hpp"
+#include "core/fault.hpp"
 #include "core/json.hpp"
 #include "core/observer.hpp"
 #include "core/table.hpp"
@@ -54,6 +58,19 @@ ArgParser make_parser() {
                  "");
     args.declare("snapshot-csv", "output CSV path for --snapshot-at",
                  "snapshots.csv");
+    args.declare("inject",
+                 "inject a fault at a model-time point; repeatable; spec "
+                 "t=<time>:crash|rejoin|reset|silence=<value> (fractions for "
+                 "crash/reset, absolute counts for rejoin, duration for "
+                 "silence)",
+                 "");
+    args.declare("scenario",
+                 "run a registered chaos workload (see --list-scenarios); "
+                 "sets the protocol unless --protocol is given",
+                 "");
+    args.declare("recovery-csv",
+                 "write per-(repetition, fault) recovery rows to this CSV file", "");
+    args.declare("list-scenarios", "list registered chaos scenarios and exit");
     args.declare("states", "also count reachable states per agent");
     args.declare("model-check", "exhaustively model-check a tiny population");
     args.declare("max-configs", "model-checker configuration budget", "200000");
@@ -93,9 +110,10 @@ std::vector<double> parse_time_points(const std::string& csv) {
 bool write_timed_snapshots(const std::string& protocol, std::size_t n,
                            std::uint64_t seed, EngineKind engine, BatchMode batch_mode,
                            StepCount max_steps, const std::vector<double>& times,
-                           const std::string& path) {
+                           const std::string& path, const FaultPlan& fault_plan) {
     const auto sim = ProtocolRegistry::instance().make_simulation(protocol, n, seed,
                                                                   engine, batch_mode);
+    if (!fault_plan.empty()) sim->set_fault_plan(fault_plan);
     TimedSnapshotRecorder recorder(times, n);
     sim->add_observer(recorder);
     const RunResult run = run_to_single_leader(*sim, max_steps);
@@ -112,7 +130,12 @@ bool write_timed_snapshots(const std::string& protocol, std::size_t n,
               << (run.converged ? "converged" : "did not converge") << " after "
               << run.steps << " interactions)\n";
     for (const TimedSnapshot& entry : recorder.snapshots()) {
-        if (entry.snapshot.total() != n) return false;
+        // Population is conserved — except under crash/rejoin faults, where
+        // a census must merely stay non-empty.
+        if (fault_plan.empty() ? entry.snapshot.total() != n
+                               : entry.snapshot.total() == 0) {
+            return false;
+        }
     }
     return true;
 }
@@ -122,9 +145,11 @@ bool write_timed_snapshots(const std::string& protocol, std::size_t n,
 /// or non-monotone), so the tool exits non-zero and the smoke tests catch it.
 bool write_trajectory(const std::string& protocol, std::size_t n, std::uint64_t seed,
                       EngineKind engine, BatchMode batch_mode, StepCount max_steps,
-                      StepCount stride, bool live_states, const std::string& path) {
+                      StepCount stride, bool live_states, const std::string& path,
+                      const FaultPlan& fault_plan) {
     const TrajectoryRun run = record_trajectory(protocol, n, seed, max_steps, stride,
-                                                engine, live_states, batch_mode);
+                                                engine, live_states, batch_mode,
+                                                fault_plan);
     write_trajectory_csv(path, run.points);
     std::cout << "wrote " << path << " (" << run.points.size() << " samples, engine "
               << to_string(engine) << ", "
@@ -154,11 +179,45 @@ int run(const ArgParser& args) {
         return 0;
     }
 
-    const std::string protocol = args.get_string("protocol", "pll");
+    if (args.get_bool("list-scenarios", false)) {
+        TextTable table;
+        table.add_column("scenario", Align::left);
+        table.add_column("protocol", Align::left);
+        table.add_column("plan", Align::left);
+        for (const ChaosScenario& scenario : chaos_scenarios()) {
+            table.add_row({scenario.name, scenario.protocol, scenario.summary});
+        }
+        std::cout << table.render("registered chaos scenarios");
+        return 0;
+    }
+
+    const std::string scenario_name = args.get_string("scenario", "");
+    const std::vector<std::string> inject_specs = args.get_strings("inject");
+    require(scenario_name.empty() || inject_specs.empty(),
+            "--scenario and --inject are mutually exclusive (a scenario is a "
+            "registered plan; --inject builds an ad-hoc one)");
+    const ChaosScenario* scenario =
+        scenario_name.empty() ? nullptr : &find_chaos_scenario(scenario_name);
+
+    const std::string protocol = args.has("protocol") || scenario == nullptr
+                                     ? args.get_string("protocol", "pll")
+                                     : scenario->protocol;
     const auto n = static_cast<std::size_t>(args.get_u64("n", 1024));
     const std::uint64_t seed = args.get_u64("seed", 2019);
 
+    FaultPlan fault_plan;
+    if (scenario != nullptr) fault_plan = scenario->make_plan(n);
+    for (const std::string& spec : inject_specs) {
+        if (!spec.empty()) fault_plan.faults.push_back(parse_fault_spec(spec));
+    }
+    for (const TimedFault& fault : fault_plan.faults) {
+        validate_fault_action(fault.action);
+    }
+
     if (args.get_bool("model-check", false)) {
+        require(fault_plan.empty(),
+                "--model-check explores the fault-free transition relation; "
+                "it cannot be combined with --inject or --scenario");
         const auto protocol_instance = registry.make(protocol, n);
         const auto budget = static_cast<std::size_t>(args.get_u64("max-configs", 200000));
         const ModelCheckReport report = model_check(*protocol_instance, n, budget);
@@ -180,7 +239,8 @@ int run(const ArgParser& args) {
 
     const EngineKind engine = parse_engine_kind(args.get_string("engine", "agent"));
     const BatchMode batch_mode = parse_batch_mode(args.get_string("batch-mode", "auto"));
-    const double factor = args.get_double("budget-factor", 3000.0);
+    const double factor = args.get_double(
+        "budget-factor", scenario != nullptr ? scenario->budget_factor : 3000.0);
     const double deadline_time = args.get_double("deadline", 0.0);
     require(deadline_time >= 0.0, "--deadline must be non-negative");
     // The deadline census runs on the sweep path; the single-run recording
@@ -194,7 +254,8 @@ int run(const ArgParser& args) {
         if (stride == 0) stride = std::max<StepCount>(1, n / 4);
         return write_trajectory(protocol, n, seed, engine, batch_mode,
                                 StepBudget::n_log_n(n, factor), stride,
-                                args.get_bool("trajectory-live-states", true), path)
+                                args.get_bool("trajectory-live-states", true), path,
+                                fault_plan)
                    ? 0
                    : 1;
     }
@@ -203,7 +264,8 @@ int run(const ArgParser& args) {
         return write_timed_snapshots(protocol, n, seed, engine, batch_mode,
                                      StepBudget::n_log_n(n, factor),
                                      parse_time_points(at),
-                                     args.get_string("snapshot-csv", "snapshots.csv"))
+                                     args.get_string("snapshot-csv", "snapshots.csv"),
+                                     fault_plan)
                    ? 0
                    : 1;
     }
@@ -217,6 +279,7 @@ int run(const ArgParser& args) {
     config.seed = seed;
     config.verify_steps = args.get_u64("verify", 0);
     config.deadline_time = deadline_time;
+    config.fault_plan = fault_plan;
     config.budget = [factor](std::size_t size) {
         return StepBudget::n_log_n(size, factor);
     };
@@ -237,6 +300,28 @@ int run(const ArgParser& args) {
                       << point.deadline_leaders.mean() << ", max "
                       << point.deadline_leaders.max() << "; stabilized by deadline: "
                       << point.deadline_stabilized << "/" << point.repetitions << "\n";
+        }
+    }
+
+    if (!fault_plan.empty()) {
+        for (const SweepPoint& point : sweep.points) {
+            if (point.recovery_rows.empty()) {
+                std::cout << "no fault was applied at n = " << point.n
+                          << " within the step budget\n";
+                return 1;
+            }
+            std::cout << "recovery after " << fault_plan.size() << " faults (n = "
+                      << point.n << "): " << point.recovery_events << " recovered";
+            if (point.recovery_time.count() > 0) {
+                std::cout << ", mean time " << point.recovery_time.mean() << ", max "
+                          << point.recovery_time.max();
+            }
+            std::cout << ", unrecovered " << point.unrecovered_faults << "\n";
+        }
+        if (const std::string path = args.get_string("recovery-csv", "");
+            !path.empty()) {
+            write_recovery_csv(path, sweep);
+            std::cout << "wrote " << path << "\n";
         }
     }
 
