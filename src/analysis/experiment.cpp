@@ -64,12 +64,26 @@ SweepResult run_sweep(const SweepConfig& config) {
         const StepCount max_steps = budget(n);
 
         std::mutex merge_mutex;
-        ThreadPool::parallel_for(
-            config.repetitions, config.threads, [&](std::size_t rep) {
+        // Repetitions fan out over the process-wide shared pool; when the
+        // engines shard internally (engine_threads > 1) the repetition
+        // concurrency is capped so repetitions x engine shards never exceed
+        // the hardware thread count.
+        const std::size_t hw =
+            std::max<std::size_t>(1, std::thread::hardware_concurrency());
+        const std::size_t engine_threads =
+            config.engine_threads == 0 ? hw : config.engine_threads;
+        std::size_t rep_threads = config.threads == 0 ? hw : config.threads;
+        if (engine_threads > 1) {
+            rep_threads = std::min(rep_threads, std::max<std::size_t>(1, hw / engine_threads));
+        }
+        shared_pool().for_each(
+            config.repetitions,
+            [&](std::size_t rep) {
                 const std::uint64_t seed =
                     derive_seed(config.seed, (static_cast<std::uint64_t>(n) << 20U) + rep);
                 const auto sim = registry.make_simulation(config.protocol, n, seed,
-                                                          config.engine, config.batch_mode);
+                                                          config.engine, config.batch_mode,
+                                                          engine_threads);
                 std::optional<TrajectoryRecorder> recorder;
                 if (config.trajectory_stride > 0) {
                     recorder.emplace(config.trajectory_stride,
@@ -137,7 +151,8 @@ SweepResult run_sweep(const SweepConfig& config) {
                 if (recorder) {
                     point.trajectories.push_back(RepTrajectory{rep, recorder->take_points()});
                 }
-            });
+            },
+            rep_threads);
         // Repetitions merge in completion order; sort for reproducible output.
         std::sort(point.trajectories.begin(), point.trajectories.end(),
                   [](const RepTrajectory& a, const RepTrajectory& b) { return a.rep < b.rep; });
@@ -161,11 +176,14 @@ std::vector<RunResult> run_repeated(const std::string& protocol, std::size_t n,
     const ProtocolRegistry& registry = ProtocolRegistry::instance();
     require(registry.contains(protocol), "unknown protocol: " + protocol);
     std::vector<RunResult> results(repetitions);
-    ThreadPool::parallel_for(repetitions, threads, [&](std::size_t rep) {
-        const std::uint64_t child = derive_seed(seed, rep);
-        const auto sim = registry.make_simulation(protocol, n, child);
-        results[rep] = run_to_single_leader(*sim, max_steps);
-    });
+    shared_pool().for_each(
+        repetitions,
+        [&](std::size_t rep) {
+            const std::uint64_t child = derive_seed(seed, rep);
+            const auto sim = registry.make_simulation(protocol, n, child);
+            results[rep] = run_to_single_leader(*sim, max_steps);
+        },
+        threads);
     return results;
 }
 
@@ -173,10 +191,11 @@ TrajectoryRun record_trajectory(const std::string& protocol, std::size_t n,
                                 std::uint64_t seed, StepCount max_steps,
                                 StepCount stride, EngineKind engine,
                                 bool record_live_states, BatchMode batch_mode,
-                                const FaultPlan& fault_plan) {
+                                const FaultPlan& fault_plan, std::size_t engine_threads) {
     const ProtocolRegistry& registry = ProtocolRegistry::instance();
     require(registry.contains(protocol), "unknown protocol: " + protocol);
-    const auto sim = registry.make_simulation(protocol, n, seed, engine, batch_mode);
+    const auto sim =
+        registry.make_simulation(protocol, n, seed, engine, batch_mode, engine_threads);
     if (!fault_plan.empty()) sim->set_fault_plan(fault_plan);
     TrajectoryRecorder recorder(stride, record_live_states);
     sim->add_observer(recorder);

@@ -1,0 +1,156 @@
+/// \file shard.hpp
+/// \brief Intra-run sharding support for the count engines: the per-round
+/// PRNG stream-split contract, contiguous index partitioning, and per-shard
+/// delta buffers merged deterministically in shard order.
+///
+/// ## The stream-split contract
+///
+/// An engine built with `threads > 1` owns a ShardContext. Each round it
+/// calls `begin_round()`, which derives one fresh Rng per shard:
+///
+///     shard_rng(s) = Rng(derive_seed(derive_seed(derive_seed(seed,
+///                        shard_stream_tag), round), s))
+///
+/// Every shard stream is therefore a pure function of (engine seed, round
+/// counter, shard index) — independent of scheduling, of which OS thread
+/// runs the shard, and of what any other shard draws. Replay with the same
+/// seed and the same `threads` value is bit-identical; changing `threads`
+/// changes the partition (and hence the stream) by design. The engines'
+/// main `rng_` stream is never advanced by sharded work, and `threads == 1`
+/// never constructs a ShardContext at all, so the sequential stream is
+/// untouched.
+///
+/// ## Deterministic merge
+///
+/// Shards never write shared count words. Each writes its own ShardDelta;
+/// after the parallel region the owning thread folds the deltas into the
+/// InternedCountStore in ascending shard order, so the store's touched-id
+/// ordering (which downstream draws depend on) is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "random.hpp"
+#include "state_index.hpp"
+#include "thread_pool.hpp"
+
+namespace ppsim {
+
+/// PRNG stream tag of the shard split ("shdr"): distinct from the fault
+/// stream tag so sharded and fault randomness can never collide.
+inline constexpr std::uint64_t shard_stream_tag = 0x73686472ULL;
+
+/// A contiguous half-open index range [first, last) owned by one shard.
+struct ShardRange {
+    std::size_t first = 0;
+    std::size_t last = 0;
+
+    [[nodiscard]] std::size_t size() const noexcept { return last - first; }
+    [[nodiscard]] bool empty() const noexcept { return first == last; }
+};
+
+/// Balanced contiguous partition of [0, count) into `shards` ranges: the
+/// first `count % shards` ranges get one extra element. Pure function of its
+/// arguments, so the partition (and hence each shard's work set) is part of
+/// the replay contract.
+[[nodiscard]] inline ShardRange shard_range(std::size_t count, std::size_t shards,
+                                            std::size_t s) noexcept {
+    const std::size_t base = count / shards;
+    const std::size_t rem = count % shards;
+    const std::size_t first = s * base + (s < rem ? s : rem);
+    return {first, first + base + (s < rem ? 1 : 0)};
+}
+
+/// Per-run parallel context owned by an engine constructed with threads > 1:
+/// a private worker pool (threads − 1 workers; the engine's thread is the
+/// extra runner) plus the per-round shard Rngs of the stream-split contract.
+class ShardContext {
+public:
+    ShardContext(std::uint64_t seed, std::size_t threads)
+        : root_(derive_seed(seed, shard_stream_tag)),
+          threads_(threads),
+          pool_(threads - 1) {
+        ensure(threads >= 2, "ShardContext requires threads >= 2");
+        rngs_.reserve(threads);
+    }
+
+    [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+    /// Advances the round counter and re-derives every shard stream. Called
+    /// exactly once per engine round that may shard (after the engine's
+    /// trivial-round guards), whether or not any loop in that round ends up
+    /// above the sharding threshold — the round counter must tick uniformly
+    /// or streams would depend on data-dependent fallback decisions.
+    void begin_round() {
+        const std::uint64_t round_root = derive_seed(root_, round_++);
+        rngs_.clear();
+        for (std::size_t s = 0; s < threads_; ++s) {
+            rngs_.emplace_back(derive_seed(round_root, s));
+        }
+    }
+
+    /// The shard's private stream for the current round.
+    [[nodiscard]] Rng& rng(std::size_t shard) noexcept { return rngs_[shard]; }
+
+    /// Runs fn(0..threads−1) across the pool; the calling thread participates.
+    void run(const std::function<void(std::size_t)>& fn) { pool_.for_each(threads_, fn); }
+
+private:
+    std::uint64_t root_;
+    std::size_t threads_;
+    std::uint64_t round_ = 0;
+    ThreadPool pool_;
+    std::vector<Rng> rngs_;
+};
+
+/// One shard's buffered round output: touched multiplicities plus the
+/// scalar tallies the engines accumulate per cell. Folded into the shared
+/// store in shard order by the owning thread — shards never contend.
+struct ShardDelta {
+    std::vector<std::uint64_t> mult;      ///< per-state touched multiplicity
+    std::vector<StateId> touched_ids;     ///< ids with mult[id] > 0, visit order
+    std::int64_t leader_delta = 0;
+    bool role_changed = false;
+    std::uint64_t dropped = 0;            ///< gillespie leap availability drops
+    std::uint64_t fired = 0;              ///< interactions this shard fired
+
+    /// Grows the multiplicity array to cover `states` interned ids. Must be
+    /// called before the parallel region (interning is single-threaded).
+    void ensure_capacity(std::size_t states) {
+        if (mult.size() < states) mult.resize(states, 0);
+    }
+
+    void touch(StateId id, std::uint64_t m) {
+        if (mult[id] == 0) touched_ids.push_back(id);
+        mult[id] += m;
+    }
+
+    /// Folds this delta into `store` and resets it for the next round.
+    /// Templated on the store to keep this header engine-agnostic.
+    template <typename Store>
+    void merge_into(Store& store) {
+        for (const StateId id : touched_ids) {
+            store.touch(id, mult[id]);
+            mult[id] = 0;
+        }
+        touched_ids.clear();
+        leader_delta = 0;
+        role_changed = false;
+        dropped = 0;
+        fired = 0;
+    }
+
+    /// Resets without merging (sequential-fallback rounds leave stale deltas).
+    void reset() {
+        for (const StateId id : touched_ids) mult[id] = 0;
+        touched_ids.clear();
+        leader_delta = 0;
+        role_changed = false;
+        dropped = 0;
+        fired = 0;
+    }
+};
+
+}  // namespace ppsim

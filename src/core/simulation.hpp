@@ -538,17 +538,20 @@ using GillespieSimulation = CountSimulation<P, GillespieEngine<P>, EngineKind::g
 /// adding an engine means adding a row to `engine_table` and a case here.
 /// `batch_mode` selects the batched engine's pairing strategy
 /// (batch_pairing.hpp) and is ignored by the other engines (the gillespie
-/// engine's τ-leap path always chooses its pairing per leap).
+/// engine's τ-leap path always chooses its pairing per leap). `threads`
+/// sets the count engines' intra-run worker count (1 = the sequential
+/// engines, 0 = hardware concurrency; see shard.hpp for the stream-split
+/// contract) and is ignored by the agent engine.
 template <typename Factory>
 [[nodiscard]] std::unique_ptr<Simulation> make_simulation(
     const Factory& factory, std::size_t n, std::uint64_t seed, EngineKind kind,
-    BatchMode batch_mode = BatchMode::automatic) {
+    BatchMode batch_mode = BatchMode::automatic, std::size_t threads = 1) {
     using P = std::decay_t<decltype(factory(std::size_t{2}))>;
     static_assert(Protocol<P>, "factory must produce a Protocol");
     if (kind == EngineKind::batched) {
         if constexpr (InternableProtocol<P>) {
             return std::make_unique<detail::BatchedSimulation<P>>(factory(n), n, seed,
-                                                                  batch_mode);
+                                                                  batch_mode, threads);
         } else {
             throw InvalidArgument(
                 "protocol has no injective state key: batched engine unavailable");
@@ -556,7 +559,8 @@ template <typename Factory>
     }
     if (kind == EngineKind::gillespie) {
         if constexpr (InternableProtocol<P>) {
-            return std::make_unique<detail::GillespieSimulation<P>>(factory(n), n, seed);
+            return std::make_unique<detail::GillespieSimulation<P>>(factory(n), n, seed,
+                                                                    threads);
         } else {
             throw InvalidArgument(
                 "protocol has no injective state key: gillespie engine unavailable");

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <exception>
+#include <memory>
 
 namespace ppsim {
 
@@ -49,13 +52,81 @@ void ThreadPool::worker_loop() {
             queue_.pop_front();
             ++in_flight_;
         }
-        task();
+        // The documented submit contract: tasks must not throw. Catch-and-
+        // terminate here makes the contract explicit and testable instead of
+        // relying on the implicit std::thread terminate path.
+        try {
+            task();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "ppsim: exception escaped a ThreadPool task: %s\n",
+                         e.what());
+            std::terminate();
+        } catch (...) {
+            std::fprintf(stderr, "ppsim: exception escaped a ThreadPool task\n");
+            std::terminate();
+        }
         {
             const std::lock_guard lock(mutex_);
             --in_flight_;
         }
         idle_.notify_all();
     }
+}
+
+namespace {
+
+/// Shared state of one for_each call. Helpers submitted to the pool hold a
+/// shared_ptr: a helper that only gets scheduled after the call returned
+/// finds `next >= count` and exits without touching `fn` (which lives in
+/// here, copied, precisely so a late helper never dereferences a dead frame).
+struct ForEachControl {
+    std::function<void(std::size_t)> fn;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+
+    /// Claims and runs indices until none remain. Every claimed index is
+    /// completed before the owning for_each returns (the caller waits on
+    /// `done`), so `fn` is alive for the whole body.
+    void run() {
+        while (true) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            fn(i);
+            if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+                { const std::lock_guard lock(mutex); }  // pair with the waiter
+                all_done.notify_all();
+            }
+        }
+    }
+};
+
+}  // namespace
+
+void ThreadPool::for_each(std::size_t count, const std::function<void(std::size_t)>& fn,
+                          std::size_t max_concurrency) {
+    if (count == 0) return;
+    std::size_t helpers = std::min(workers_.size(), count - 1);
+    if (max_concurrency != 0) {
+        helpers = std::min(helpers, max_concurrency - 1);
+    }
+    if (helpers == 0) {  // inline path: nothing to coordinate
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    auto ctl = std::make_shared<ForEachControl>();
+    ctl->fn = fn;
+    ctl->count = count;
+    for (std::size_t h = 0; h < helpers; ++h) {
+        submit([ctl] { ctl->run(); });
+    }
+    ctl->run();  // the caller participates — see the header's deadlock note
+    std::unique_lock lock(ctl->mutex);
+    ctl->all_done.wait(lock, [&] {
+        return ctl->done.load(std::memory_order_acquire) == ctl->count;
+    });
 }
 
 void ThreadPool::parallel_for(std::size_t count, std::size_t threads,
@@ -82,6 +153,14 @@ void ThreadPool::parallel_for(std::size_t count, std::size_t threads,
         });
     }
     for (std::thread& member : team) member.join();
+}
+
+ThreadPool& shared_pool() {
+    // hardware_concurrency − 1 workers (min 1): the for_each caller is the
+    // extra runner, so concurrency tops out at the hardware thread count.
+    static ThreadPool pool(std::max<std::size_t>(
+        1, std::max<std::size_t>(1, std::thread::hardware_concurrency()) - 1));
+    return pool;
 }
 
 }  // namespace ppsim

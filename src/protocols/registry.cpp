@@ -80,19 +80,18 @@ const ProtocolInfo& ProtocolRegistry::info(const std::string& name) const {
     return entry(name).info;
 }
 
-std::unique_ptr<Simulation> ProtocolRegistry::make_simulation(const std::string& name,
-                                                              std::size_t n,
-                                                              std::uint64_t seed,
-                                                              EngineKind engine,
-                                                              BatchMode batch_mode) const {
-    return entry(name).simulate(n, seed, engine, batch_mode);
+std::unique_ptr<Simulation> ProtocolRegistry::make_simulation(
+    const std::string& name, std::size_t n, std::uint64_t seed, EngineKind engine,
+    BatchMode batch_mode, std::size_t threads) const {
+    return entry(name).simulate(n, seed, engine, batch_mode, threads);
 }
 
 RunResult ProtocolRegistry::run_election(const std::string& name, std::size_t n,
                                          std::uint64_t seed, StepCount max_steps,
                                          EngineKind engine, BatchMode batch_mode,
-                                         const FaultPlan& faults) const {
-    const auto sim = make_simulation(name, n, seed, engine, batch_mode);
+                                         const FaultPlan& faults,
+                                         std::size_t threads) const {
+    const auto sim = make_simulation(name, n, seed, engine, batch_mode, threads);
     if (!faults.empty()) sim->set_fault_plan(faults);
     return run_to_single_leader(*sim, max_steps);
 }
@@ -100,16 +99,17 @@ RunResult ProtocolRegistry::run_election(const std::string& name, std::size_t n,
 RunResult ProtocolRegistry::run_election_verified(const std::string& name, std::size_t n,
                                                   std::uint64_t seed, StepCount max_steps,
                                                   StepCount verify_steps,
-                                                  EngineKind engine,
-                                                  BatchMode batch_mode) const {
-    const auto sim = make_simulation(name, n, seed, engine, batch_mode);
+                                                  EngineKind engine, BatchMode batch_mode,
+                                                  std::size_t threads) const {
+    const auto sim = make_simulation(name, n, seed, engine, batch_mode, threads);
     return run_to_single_leader(*sim, max_steps, verify_steps);
 }
 
 RunResult ProtocolRegistry::run_for(const std::string& name, std::size_t n,
                                     std::uint64_t seed, StepCount steps,
-                                    EngineKind engine, BatchMode batch_mode) const {
-    const auto sim = make_simulation(name, n, seed, engine, batch_mode);
+                                    EngineKind engine, BatchMode batch_mode,
+                                    std::size_t threads) const {
+    const auto sim = make_simulation(name, n, seed, engine, batch_mode, threads);
     return sim->run_for(steps);
 }
 

@@ -45,11 +45,14 @@ public:
     /// type-erased consumer (sweeps, CLI, benches) goes through. Attach
     /// observers (core/observer.hpp) before running to record trajectories.
     /// `batch_mode` selects the batched engine's pairing strategy
-    /// (core/batch_pairing.hpp); the agent engine ignores it.
+    /// (core/batch_pairing.hpp); the agent engine ignores it. `threads`
+    /// sets the count engines' intra-run worker count (1 = sequential,
+    /// 0 = hardware concurrency; core/shard.hpp documents the stream-split
+    /// contract); the agent engine ignores it.
     [[nodiscard]] std::unique_ptr<Simulation> make_simulation(
         const std::string& name, std::size_t n, std::uint64_t seed,
         EngineKind engine = EngineKind::agent,
-        BatchMode batch_mode = BatchMode::automatic) const;
+        BatchMode batch_mode = BatchMode::automatic, std::size_t threads = 1) const;
 
     /// Runs a full election of `name` on n agents with the given seed.
     /// `max_steps` bounds the run; `engine` selects the back-end (the fast
@@ -61,7 +64,8 @@ public:
                                          std::uint64_t seed, StepCount max_steps,
                                          EngineKind engine = EngineKind::agent,
                                          BatchMode batch_mode = BatchMode::automatic,
-                                         const FaultPlan& faults = {}) const;
+                                         const FaultPlan& faults = {},
+                                         std::size_t threads = 1) const;
 
     /// As run_election, but additionally verifies output stability over
     /// `verify_steps` extra interactions; sets `converged = false` if any
@@ -69,7 +73,7 @@ public:
     [[nodiscard]] RunResult run_election_verified(
         const std::string& name, std::size_t n, std::uint64_t seed, StepCount max_steps,
         StepCount verify_steps, EngineKind engine = EngineKind::agent,
-        BatchMode batch_mode = BatchMode::automatic) const;
+        BatchMode batch_mode = BatchMode::automatic, std::size_t threads = 1) const;
 
     /// Runs exactly `steps` interactions regardless of convergence — the
     /// fixed-work entry point for throughput benchmarking (both engines
@@ -77,7 +81,8 @@ public:
     [[nodiscard]] RunResult run_for(const std::string& name, std::size_t n,
                                     std::uint64_t seed, StepCount steps,
                                     EngineKind engine = EngineKind::agent,
-                                    BatchMode batch_mode = BatchMode::automatic) const;
+                                    BatchMode batch_mode = BatchMode::automatic,
+                                    std::size_t threads = 1) const;
 
     /// Type-erased instance for population size n (state-space counting).
     [[nodiscard]] std::unique_ptr<AnyProtocol> make(const std::string& name,
@@ -92,8 +97,8 @@ public:
         Entry entry;
         entry.info = std::move(info);
         entry.simulate = [factory](std::size_t n, std::uint64_t seed, EngineKind kind,
-                                   BatchMode batch_mode) {
-            return ppsim::make_simulation(factory, n, seed, kind, batch_mode);
+                                   BatchMode batch_mode, std::size_t threads) {
+            return ppsim::make_simulation(factory, n, seed, kind, batch_mode, threads);
         };
         entry.make = [factory](std::size_t n) { return erase_protocol(factory(n)); };
         entries_.push_back(std::move(entry));
@@ -104,12 +109,12 @@ public:
 private:
     struct Entry {
         ProtocolInfo info;
-        /// (n, seed, engine, batch mode) → ready-to-run Simulation. All
-        /// election and fixed-work runs are built on this one factory; the
-        /// run/verify logic itself lives in core/simulation.hpp
-        /// (run_to_single_leader).
+        /// (n, seed, engine, batch mode, threads) → ready-to-run
+        /// Simulation. All election and fixed-work runs are built on this
+        /// one factory; the run/verify logic itself lives in
+        /// core/simulation.hpp (run_to_single_leader).
         std::function<std::unique_ptr<Simulation>(std::size_t, std::uint64_t, EngineKind,
-                                                  BatchMode)>
+                                                  BatchMode, std::size_t)>
             simulate;
         std::function<std::unique_ptr<AnyProtocol>(std::size_t)> make;
     };

@@ -1,15 +1,19 @@
 // Contract tests for the sweep parallelism layer (src/core/thread_pool.hpp):
 // wait_idle really waits for every submitted task (including tasks submitted
-// while others run), parallel_for covers every index exactly once for any
-// thread/count shape, and destruction drains the queue rather than dropping
-// work. run_sweep and run_repeated build directly on these guarantees.
+// while others run), for_each / parallel_for cover every index exactly once
+// for any thread/count shape, submit's terminate-on-throw contract holds, and
+// destruction drains the queue rather than dropping work. run_sweep,
+// run_repeated and the engines' intra-run sharding (shard.hpp) build directly
+// on these guarantees.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -82,6 +86,101 @@ TEST(ThreadPool, DestructionDrainsTheQueue) {
         }
     }
     EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, WaitIdleCoversTasksSubmittedFromWithinATask) {
+    // A task that submits follow-up work mid-flight: wait_idle must count the
+    // children too, because the sweep layer funnels nested work through one
+    // shared pool. Two generations deep pins the recursion, not one level.
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &done] {
+            pool.submit([&pool, &done] {
+                pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 24);
+}
+
+TEST(ThreadPoolDeathTest, ExceptionEscapingATaskTerminates) {
+    // submit's documented contract: tasks must not throw; one that does is
+    // reported to stderr and terminates the process. Death tests fork, so the
+    // terminate happens in the child — threadsafe style re-executes the test
+    // binary, which is the only safe mode with live worker threads around.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ThreadPool pool(1);
+            pool.submit([] { throw std::runtime_error("boom"); });
+            pool.wait_idle();
+        },
+        "exception escaped a ThreadPool task: boom");
+}
+
+TEST(ThreadPoolForEach, CoversEveryIndexExactlyOnce) {
+    ThreadPool pool(3);
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                    std::size_t{257}}) {
+        std::vector<std::atomic<int>> hits(count);
+        pool.for_each(count,
+                      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+        for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i << ", count " << count;
+        }
+    }
+}
+
+TEST(ThreadPoolForEach, MaxConcurrencyOneRunsInlineOnTheCaller) {
+    ThreadPool pool(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<int> off_thread{0};
+    pool.for_each(
+        64,
+        [&](std::size_t) {
+            if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+        },
+        /*max_concurrency=*/1);
+    EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ThreadPoolForEach, NestedCallsFromInsideTasksComplete) {
+    // The engines' sharded rounds run inside sweep repetitions that already
+    // occupy pool workers: for_each from within a pool task must complete
+    // even when every worker is busy, because the caller participates as a
+    // runner. A tiny pool maximises the chance all workers are occupied.
+    ThreadPool pool(2);
+    std::atomic<int> inner_total{0};
+    pool.for_each(8, [&](std::size_t) {
+        pool.for_each(16, [&](std::size_t) {
+            inner_total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolForEach, PropagatesExceptionsFromTheCallingThread) {
+    // With max_concurrency=1 every index runs inline, so a throwing fn
+    // surfaces on the caller instead of tripping the worker terminate path.
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.for_each(4, [](std::size_t) { throw std::runtime_error("inline"); },
+                      /*max_concurrency=*/1),
+        std::runtime_error);
+}
+
+TEST(ThreadPoolSharedPool, IsAStableProcessWideSingleton) {
+    ThreadPool& a = shared_pool();
+    ThreadPool& b = shared_pool();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.thread_count(), 1U);
+    // Sized so caller-as-runner tops out at the hardware thread count.
+    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    EXPECT_LE(a.thread_count() + 1, hw + 1);
 }
 
 TEST(ThreadPoolParallelFor, CoversEveryIndexExactlyOnce) {

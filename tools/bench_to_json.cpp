@@ -6,14 +6,19 @@
 // is measured once per pairing strategy (pairwise | bulk | auto — see
 // src/core/batch_pairing.hpp), so the JSON carries a `batch_mode` dimension
 // alongside protocol and n; the gillespie engine contributes one row per
-// (protocol, n) like the agent engine.
+// (protocol, n, threads) like the batched engine. `--threads` sweeps the
+// count engines' intra-run worker count (src/core/shard.hpp); the agent
+// engine has no sharded path, so it is measured once per (protocol, n) and
+// its rows always carry threads = 1.
 //
 //   bench_to_json                         # default grid, writes BENCH_engine.json
-//   bench_to_json --protocols pll --sizes 1048576 --json out.json
+//   bench_to_json --protocols pll --sizes 1048576 --threads 1,2,4 --json out.json
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/args.hpp"
@@ -50,7 +55,8 @@ struct Measurement {
 };
 
 Measurement measure(const std::string& protocol, EngineKind engine, BatchMode batch_mode,
-                    std::size_t n, StepCount steps_per_run, double min_seconds) {
+                    std::size_t n, StepCount steps_per_run, double min_seconds,
+                    std::size_t threads = 1) {
     const ProtocolRegistry& registry = ProtocolRegistry::instance();
     Measurement m;
     std::uint64_t seed = 0xBEEF;
@@ -61,7 +67,8 @@ Measurement measure(const std::string& protocol, EngineKind engine, BatchMode ba
         // engine construction. Built through the type-erased Simulation
         // layer — the virtual dispatch is per run, not per interaction, so
         // this measures the same hot loops as the templated benches.
-        const auto sim = registry.make_simulation(protocol, n, seed++, engine, batch_mode);
+        const auto sim =
+            registry.make_simulation(protocol, n, seed++, engine, batch_mode, threads);
         const RunResult run = sim->run_for(steps_per_run);
         const auto stop = std::chrono::steady_clock::now();
         m.steps += run.steps;
@@ -94,10 +101,18 @@ int run(const ArgParser& args) {
     }
     const double min_seconds = args.get_double("min-seconds", 0.3);
     const double parallel_time_cap = args.get_double("parallel-time", 16.0);
+    std::vector<std::size_t> thread_counts;
+    for (const std::string& t : split_csv(args.get_string("threads", "1"))) {
+        std::size_t threads = static_cast<std::size_t>(std::stoull(t));
+        if (threads == 0) threads = std::max<unsigned>(1, std::thread::hardware_concurrency());
+        thread_counts.push_back(threads);
+    }
+    if (thread_counts.empty()) thread_counts.push_back(1);
 
     TextTable table;
     table.add_column("protocol", Align::left);
     table.add_column("n");
+    table.add_column("threads");
     table.add_column("agent int/s");
     for (const BatchModeDescriptor& d : batch_mode_table) {
         table.add_column(std::string(d.name) + " int/s");
@@ -116,6 +131,9 @@ int run(const ArgParser& args) {
         for (const std::size_t n : sizes) {
             const auto steps_per_run = static_cast<StepCount>(
                 parallel_time_cap * static_cast<double>(n));
+            // The agent engine has no sharded path: measure once per
+            // (protocol, n) and reuse the rate as the baseline of every
+            // threads row.
             const Measurement agent = measure(protocol, EngineKind::agent,
                                               BatchMode::automatic, n, steps_per_run,
                                               min_seconds);
@@ -123,60 +141,70 @@ int run(const ArgParser& args) {
             JsonValue agent_row = JsonValue::object();
             agent_row.set("protocol", protocol);
             agent_row.set("n", static_cast<std::uint64_t>(n));
+            agent_row.set("threads", std::uint64_t{1});
             agent_row.set("steps_per_run", steps_per_run);
             agent_row.set("engine", std::string(to_string(EngineKind::agent)));
             agent_row.set("interactions_per_sec", agent.rate());
             rows.push_back(std::move(agent_row));
 
-            std::vector<std::string> cells = {protocol, std::to_string(n),
-                                              scientific(agent.rate())};
-            double auto_rate = 0.0;
-            double pairwise_rate = 0.0;
-            double bulk_rate = 0.0;
-            for (const BatchModeDescriptor& d : batch_mode_table) {
-                const Measurement batched = measure(protocol, EngineKind::batched, d.mode,
-                                                    n, steps_per_run, min_seconds);
-                const double speedup =
-                    agent.rate() > 0.0 ? batched.rate() / agent.rate() : 0.0;
-                if (d.mode == BatchMode::automatic) auto_rate = batched.rate();
-                if (d.mode == BatchMode::pairwise) pairwise_rate = batched.rate();
-                if (d.mode == BatchMode::bulk) bulk_rate = batched.rate();
-                cells.push_back(scientific(batched.rate()));
+            for (const std::size_t threads : thread_counts) {
+                std::vector<std::string> cells = {protocol, std::to_string(n),
+                                                  std::to_string(threads),
+                                                  scientific(agent.rate())};
+                double auto_rate = 0.0;
+                double pairwise_rate = 0.0;
+                double bulk_rate = 0.0;
+                for (const BatchModeDescriptor& d : batch_mode_table) {
+                    const Measurement batched =
+                        measure(protocol, EngineKind::batched, d.mode, n, steps_per_run,
+                                min_seconds, threads);
+                    const double speedup =
+                        agent.rate() > 0.0 ? batched.rate() / agent.rate() : 0.0;
+                    if (d.mode == BatchMode::automatic) auto_rate = batched.rate();
+                    if (d.mode == BatchMode::pairwise) pairwise_rate = batched.rate();
+                    if (d.mode == BatchMode::bulk) bulk_rate = batched.rate();
+                    cells.push_back(scientific(batched.rate()));
 
-                JsonValue row = JsonValue::object();
-                row.set("protocol", protocol);
-                row.set("n", static_cast<std::uint64_t>(n));
-                row.set("steps_per_run", steps_per_run);
-                row.set("engine", std::string(to_string(EngineKind::batched)));
-                row.set("batch_mode", std::string(d.name));
-                row.set("interactions_per_sec", batched.rate());
-                row.set("speedup_vs_agent", speedup);
-                rows.push_back(std::move(row));
+                    JsonValue row = JsonValue::object();
+                    row.set("protocol", protocol);
+                    row.set("n", static_cast<std::uint64_t>(n));
+                    row.set("threads", static_cast<std::uint64_t>(threads));
+                    row.set("steps_per_run", steps_per_run);
+                    row.set("engine", std::string(to_string(EngineKind::batched)));
+                    row.set("batch_mode", std::string(d.name));
+                    row.set("interactions_per_sec", batched.rate());
+                    row.set("speedup_vs_agent", speedup);
+                    rows.push_back(std::move(row));
+                }
+                const Measurement gillespie =
+                    measure(protocol, EngineKind::gillespie, BatchMode::automatic, n,
+                            steps_per_run, min_seconds, threads);
+                cells.push_back(scientific(gillespie.rate()));
+
+                JsonValue gillespie_row = JsonValue::object();
+                gillespie_row.set("protocol", protocol);
+                gillespie_row.set("n", static_cast<std::uint64_t>(n));
+                gillespie_row.set("threads", static_cast<std::uint64_t>(threads));
+                gillespie_row.set("steps_per_run", steps_per_run);
+                gillespie_row.set("engine",
+                                  std::string(to_string(EngineKind::gillespie)));
+                gillespie_row.set("interactions_per_sec", gillespie.rate());
+                gillespie_row.set("speedup_vs_agent", agent.rate() > 0.0
+                                                          ? gillespie.rate() / agent.rate()
+                                                          : 0.0);
+                gillespie_row.set("speedup_vs_batched_pairwise",
+                                  pairwise_rate > 0.0 ? gillespie.rate() / pairwise_rate
+                                                      : 0.0);
+                rows.push_back(std::move(gillespie_row));
+
+                cells.push_back(
+                    ratio(agent.rate() > 0.0 ? auto_rate / agent.rate() : 0.0));
+                cells.push_back(
+                    ratio(pairwise_rate > 0.0 ? bulk_rate / pairwise_rate : 0.0));
+                cells.push_back(
+                    ratio(pairwise_rate > 0.0 ? gillespie.rate() / pairwise_rate : 0.0));
+                table.add_row(cells);
             }
-            const Measurement gillespie =
-                measure(protocol, EngineKind::gillespie, BatchMode::automatic, n,
-                        steps_per_run, min_seconds);
-            cells.push_back(scientific(gillespie.rate()));
-
-            JsonValue gillespie_row = JsonValue::object();
-            gillespie_row.set("protocol", protocol);
-            gillespie_row.set("n", static_cast<std::uint64_t>(n));
-            gillespie_row.set("steps_per_run", steps_per_run);
-            gillespie_row.set("engine", std::string(to_string(EngineKind::gillespie)));
-            gillespie_row.set("interactions_per_sec", gillespie.rate());
-            gillespie_row.set("speedup_vs_agent",
-                              agent.rate() > 0.0 ? gillespie.rate() / agent.rate() : 0.0);
-            gillespie_row.set("speedup_vs_batched_pairwise",
-                              pairwise_rate > 0.0 ? gillespie.rate() / pairwise_rate
-                                                  : 0.0);
-            rows.push_back(std::move(gillespie_row));
-
-            cells.push_back(ratio(agent.rate() > 0.0 ? auto_rate / agent.rate() : 0.0));
-            cells.push_back(
-                ratio(pairwise_rate > 0.0 ? bulk_rate / pairwise_rate : 0.0));
-            cells.push_back(
-                ratio(pairwise_rate > 0.0 ? gillespie.rate() / pairwise_rate : 0.0));
-            table.add_row(cells);
         }
     }
     root.set("measurements", std::move(rows));
@@ -198,6 +226,10 @@ int main(int argc, char** argv) {
                  "angluin06,loose_sud12,lottery,pll,rated_epidemic,rated_election");
     args.declare("sizes", "comma-separated population sizes",
                  "1024,16384,1048576,16777216");
+    args.declare("threads",
+                 "comma-separated intra-run worker counts for the count engines "
+                 "(0 = all hardware threads)",
+                 "1");
     args.declare("min-seconds", "minimum wall time per measurement", "0.3");
     args.declare("parallel-time", "interactions per run, as a multiple of n", "16");
     args.declare("json", "output JSON path (empty = skip)", "BENCH_engine.json");
