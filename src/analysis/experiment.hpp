@@ -42,8 +42,13 @@ struct SweepConfig {
     /// hardware_concurrency / engine_threads.
     std::size_t threads = 0;
     /// Simulation back-end: per-interaction agent engine, count-based
-    /// batched engine, or reaction-rate gillespie engine (see README
-    /// "Choosing an engine" for distribution and speed trade-offs).
+    /// batched engine, reaction-rate gillespie engine, or the adaptive
+    /// hybrid meta-engine (see README "Choosing an engine" for
+    /// distribution and speed trade-offs). A hybrid sweep reads the
+    /// process-wide calibration options (core/calibration.hpp) — set them
+    /// before run_sweep when a non-default cache dir or an injected cost
+    /// table is wanted; all repetitions then share one memoised table, so
+    /// the sweep stays seeded-deterministic.
     EngineKind engine = EngineKind::agent;
     /// Batch-pairing strategy of the batched engine (core/batch_pairing.hpp):
     /// auto (per-batch choice), pairwise shuffle, or bulk contingency-table

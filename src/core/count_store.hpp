@@ -24,8 +24,10 @@
 /// multiset (outputs produced mid-round) and back via `merge_touched()`.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "state_index.hpp"
@@ -169,6 +171,27 @@ public:
             if (index_.is_leader(id)) leaders += counts_[id];
         }
         return leaders;
+    }
+
+    /// Replaces the configuration wholesale with `census` (state, count)
+    /// pairs: zero every count, intern and set the census entries, rebuild
+    /// the live list. The count engines' adoption primitive for the hybrid
+    /// engine's mid-run handoff (hybrid_engine.hpp). Only legal between
+    /// rounds (touched multiset empty). Returns the census total for the
+    /// caller's conservation check.
+    std::uint64_t adopt_census(const P& proto,
+                               const std::vector<std::pair<State, std::uint64_t>>& census) {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        std::uint64_t total = 0;
+        for (const auto& [state, count] : census) {
+            if (count == 0) continue;
+            const StateId id = intern(proto, state);
+            counts_[id] += count;
+            make_live(id);
+            total += count;
+        }
+        compact_live();
+        return total;
     }
 
 private:

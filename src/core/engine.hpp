@@ -47,6 +47,7 @@ enum class EngineKind : std::uint8_t {
     agent = 0,
     batched = 1,
     gillespie = 2,
+    hybrid = 3,
 };
 
 /// One row of the engine table: the kind, its registry/CLI name, and a
@@ -59,13 +60,15 @@ struct EngineDescriptor {
 
 /// The single source of truth for the engine list. `to_string`,
 /// `parse_engine_kind` and every CLI help string derive from this table, so
-/// adding a third engine is a one-row change that cannot desync them.
-inline constexpr std::array<EngineDescriptor, 3> engine_table{{
+/// adding an engine is a one-row change that cannot desync them.
+inline constexpr std::array<EngineDescriptor, 4> engine_table{{
     {EngineKind::agent, "agent", "exact per-interaction simulation of every agent"},
     {EngineKind::batched, "batched",
      "count-based batch simulation, sub-constant time per interaction at large n"},
     {EngineKind::gillespie, "gillespie",
      "reaction-rate SSA with null-reaction skipping and tau-leaping at large n"},
+    {EngineKind::hybrid, "hybrid",
+     "adaptive meta-engine: switches mode per phase from a measured cost model"},
 }};
 
 /// Registry/CLI name of an engine kind.
@@ -88,12 +91,20 @@ inline constexpr std::array<EngineDescriptor, 3> engine_table{{
 }
 
 /// Parses an engine name from the engine table; throws on anything else.
+/// The error enumerates every valid engine with its one-line summary, so
+/// the CLI's `--engine` diagnostics can never desync from the table.
 [[nodiscard]] inline EngineKind parse_engine_kind(std::string_view name) {
     for (const EngineDescriptor& d : engine_table) {
         if (d.name == name) return d.kind;
     }
-    throw InvalidArgument("unknown engine: '" + std::string(name) + "' (expected " +
-                          engine_kind_list(" or ") + ")");
+    std::string message = "unknown engine: '" + std::string(name) + "'; valid engines:";
+    for (const EngineDescriptor& d : engine_table) {
+        message += "\n  ";
+        message += d.name;
+        message += " — ";
+        message += d.summary;
+    }
+    throw InvalidArgument(message);
 }
 
 /// Outcome of a bounded engine run.
@@ -334,6 +345,28 @@ public:
     /// scheduler ticks `count` times with no pair reacting. Consumes no
     /// randomness, so the post-window schedule stream is unperturbed.
     void advance_silent(StepCount count) noexcept { steps_ += count; }
+
+    /// Adopts a configuration handed over by another engine (the hybrid
+    /// meta-engine's mid-run switch, hybrid_engine.hpp): lays the census out
+    /// over the population in the given order (identities are irrelevant
+    /// under the uniform scheduler), and carries the step counter and
+    /// stabilisation step across so observers see one continuous run. The
+    /// census must conserve this engine's population size. The scheduler /
+    /// thinning / fault streams keep the seed this engine was built with —
+    /// the handoff contract assigns each hybrid segment its own stream.
+    void adopt_census(const std::vector<std::pair<State, std::uint64_t>>& census,
+                      StepCount steps, std::optional<StepCount> stabilization_step) {
+        auto states = population_.states();
+        std::size_t i = 0;
+        for (const auto& [state, count] : census) {
+            require(count <= states.size() - i, "census overfills the population");
+            for (std::uint64_t k = 0; k < count; ++k) states[i++] = state;
+        }
+        require(i == states.size(), "census does not conserve the population");
+        steps_ = steps;
+        first_single_leader_step_ = stabilization_step;
+        recount_leaders();
+    }
 
     /// Recomputes the leader count from scratch (O(n)); the engine keeps the
     /// count incrementally, so this exists for tests and defensive checks.

@@ -35,6 +35,7 @@
 #include "engine.hpp"
 #include "fault.hpp"
 #include "gillespie_engine.hpp"
+#include "hybrid_engine.hpp"
 #include "protocol.hpp"
 
 namespace ppsim {
@@ -530,6 +531,10 @@ using BatchedSimulation = CountSimulation<P, BatchedEngine<P>, EngineKind::batch
 template <typename P>
 using GillespieSimulation = CountSimulation<P, GillespieEngine<P>, EngineKind::gillespie>;
 
+/// Simulation adapter over the adaptive hybrid meta-engine.
+template <typename P>
+using HybridSimulation = CountSimulation<P, HybridEngine<P>, EngineKind::hybrid>;
+
 }  // namespace detail
 
 /// Builds a type-erased simulation from a protocol factory (size → protocol
@@ -564,6 +569,15 @@ template <typename Factory>
         } else {
             throw InvalidArgument(
                 "protocol has no injective state key: gillespie engine unavailable");
+        }
+    }
+    if (kind == EngineKind::hybrid) {
+        if constexpr (InternableProtocol<P>) {
+            return std::make_unique<detail::HybridSimulation<P>>(factory(n), n, seed,
+                                                                 threads);
+        } else {
+            throw InvalidArgument(
+                "protocol has no injective state key: hybrid engine unavailable");
         }
     }
     return std::make_unique<detail::AgentSimulation<P>>(factory(n), n, seed);

@@ -48,7 +48,10 @@ public:
     /// (core/batch_pairing.hpp); the agent engine ignores it. `threads`
     /// sets the count engines' intra-run worker count (1 = sequential,
     /// 0 = hardware concurrency; core/shard.hpp documents the stream-split
-    /// contract); the agent engine ignores it.
+    /// contract); the agent engine ignores it. `EngineKind::hybrid` builds
+    /// the adaptive meta-engine (core/hybrid_engine.hpp), which reads the
+    /// process-wide calibration options of core/calibration.hpp — no extra
+    /// parameters here by design.
     [[nodiscard]] std::unique_ptr<Simulation> make_simulation(
         const std::string& name, std::size_t n, std::uint64_t seed,
         EngineKind engine = EngineKind::agent,

@@ -1,19 +1,26 @@
-// bench_to_json — measures interactions/sec of all three simulation
-// back-ends (agent-based Engine, count-based BatchedEngine, reaction-rate
-// GillespieEngine) across protocols, population sizes and batch-pairing
-// modes, prints a table, and writes the machine-readable perf trajectory to
-// BENCH_engine.json so future PRs can regress against it. The batched engine
-// is measured once per pairing strategy (pairwise | bulk | auto — see
-// src/core/batch_pairing.hpp), so the JSON carries a `batch_mode` dimension
-// alongside protocol and n; the gillespie engine contributes one row per
-// (protocol, n, threads) like the batched engine. `--threads` sweeps the
-// count engines' intra-run worker count (src/core/shard.hpp); the agent
-// engine has no sharded path, so it is measured once per (protocol, n) and
-// its rows always carry threads = 1.
+// bench_to_json — measures interactions/sec of the simulation back-ends
+// (agent-based Engine, count-based BatchedEngine, reaction-rate
+// GillespieEngine, adaptive HybridEngine) across protocols, population sizes
+// and batch-pairing modes, prints a table, and writes the machine-readable
+// perf trajectory to BENCH_engine.json so future PRs can regress against it.
+// The batched engine is measured once per pairing strategy (pairwise | bulk |
+// auto — see src/core/batch_pairing.hpp), so the JSON carries a `batch_mode`
+// dimension alongside protocol and n; the gillespie and hybrid engines
+// contribute one row per (protocol, n, threads) like the batched engine.
+// `--threads` sweeps the count engines' intra-run worker count
+// (src/core/shard.hpp); the agent engine has no sharded path, so it is
+// measured once per (protocol, n) and its rows always carry threads = 1.
+// `--protocols` and `--engines` filter the grid, so a single engine (or a
+// single protocol × engine cell) can be re-measured without redoing the whole
+// sweep. The hybrid engine's calibration probes are warmed outside the timed
+// region (and cached across runs — see src/core/calibration.hpp), so its rows
+// measure steady-state throughput, not probe cost.
 //
 //   bench_to_json                         # default grid, writes BENCH_engine.json
 //   bench_to_json --protocols pll --sizes 1048576 --threads 1,2,4 --json out.json
+//   bench_to_json --engines hybrid --protocols pll,loose_sud12   # one engine only
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -58,6 +65,13 @@ Measurement measure(const std::string& protocol, EngineKind engine, BatchMode ba
                     std::size_t n, StepCount steps_per_run, double min_seconds,
                     std::size_t threads = 1) {
     const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    if (engine == EngineKind::hybrid) {
+        // Warm the calibration memo outside the timed region: the first
+        // hybrid construction per (protocol, threads, probe bucket) may run
+        // probe elections, which are setup cost, not throughput.
+        (void)registry.make_simulation(protocol, n, 0xBEEF, engine, batch_mode,
+                                       threads);
+    }
     Measurement m;
     std::uint64_t seed = 0xBEEF;
     while (m.seconds < min_seconds) {
@@ -99,6 +113,17 @@ int run(const ArgParser& args) {
          split_csv(args.get_string("sizes", "1024,16384,1048576,16777216"))) {
         sizes.push_back(static_cast<std::size_t>(std::stoull(s)));
     }
+    // --engines filters which back-ends are measured; names are validated
+    // against the engine table, so a typo gets the full valid-name listing.
+    std::array<bool, engine_table.size()> want{};
+    for (const std::string& name : split_csv(args.get_string(
+             "engines", "agent,batched,gillespie,hybrid"))) {
+        want[static_cast<std::size_t>(parse_engine_kind(name))] = true;
+    }
+    const bool want_agent = want[static_cast<std::size_t>(EngineKind::agent)];
+    const bool want_batched = want[static_cast<std::size_t>(EngineKind::batched)];
+    const bool want_gillespie = want[static_cast<std::size_t>(EngineKind::gillespie)];
+    const bool want_hybrid = want[static_cast<std::size_t>(EngineKind::hybrid)];
     const double min_seconds = args.get_double("min-seconds", 0.3);
     const double parallel_time_cap = args.get_double("parallel-time", 16.0);
     std::vector<std::size_t> thread_counts;
@@ -113,14 +138,18 @@ int run(const ArgParser& args) {
     table.add_column("protocol", Align::left);
     table.add_column("n");
     table.add_column("threads");
-    table.add_column("agent int/s");
-    for (const BatchModeDescriptor& d : batch_mode_table) {
-        table.add_column(std::string(d.name) + " int/s");
+    if (want_agent) table.add_column("agent int/s");
+    if (want_batched) {
+        for (const BatchModeDescriptor& d : batch_mode_table) {
+            table.add_column(std::string(d.name) + " int/s");
+        }
     }
-    table.add_column("gillespie int/s");
-    table.add_column("auto speedup");
-    table.add_column("bulk/pairwise");
-    table.add_column("gillespie/pairwise");
+    if (want_gillespie) table.add_column("gillespie int/s");
+    if (want_hybrid) table.add_column("hybrid int/s");
+    if (want_agent && want_batched) table.add_column("auto speedup");
+    if (want_batched) table.add_column("bulk/pairwise");
+    if (want_gillespie && want_batched) table.add_column("gillespie/pairwise");
+    if (want_hybrid) table.add_column("hybrid/best");
 
     JsonValue root = JsonValue::object();
     root.set("library_version", library_version);
@@ -134,75 +163,122 @@ int run(const ArgParser& args) {
             // The agent engine has no sharded path: measure once per
             // (protocol, n) and reuse the rate as the baseline of every
             // threads row.
-            const Measurement agent = measure(protocol, EngineKind::agent,
-                                              BatchMode::automatic, n, steps_per_run,
-                                              min_seconds);
+            Measurement agent;
+            if (want_agent) {
+                agent = measure(protocol, EngineKind::agent, BatchMode::automatic, n,
+                                steps_per_run, min_seconds);
 
-            JsonValue agent_row = JsonValue::object();
-            agent_row.set("protocol", protocol);
-            agent_row.set("n", static_cast<std::uint64_t>(n));
-            agent_row.set("threads", std::uint64_t{1});
-            agent_row.set("steps_per_run", steps_per_run);
-            agent_row.set("engine", std::string(to_string(EngineKind::agent)));
-            agent_row.set("interactions_per_sec", agent.rate());
-            rows.push_back(std::move(agent_row));
+                JsonValue agent_row = JsonValue::object();
+                agent_row.set("protocol", protocol);
+                agent_row.set("n", static_cast<std::uint64_t>(n));
+                agent_row.set("threads", std::uint64_t{1});
+                agent_row.set("steps_per_run", steps_per_run);
+                agent_row.set("engine", std::string(to_string(EngineKind::agent)));
+                agent_row.set("interactions_per_sec", agent.rate());
+                rows.push_back(std::move(agent_row));
+            }
 
             for (const std::size_t threads : thread_counts) {
                 std::vector<std::string> cells = {protocol, std::to_string(n),
-                                                  std::to_string(threads),
-                                                  scientific(agent.rate())};
+                                                  std::to_string(threads)};
+                if (want_agent) cells.push_back(scientific(agent.rate()));
                 double auto_rate = 0.0;
                 double pairwise_rate = 0.0;
                 double bulk_rate = 0.0;
-                for (const BatchModeDescriptor& d : batch_mode_table) {
-                    const Measurement batched =
-                        measure(protocol, EngineKind::batched, d.mode, n, steps_per_run,
-                                min_seconds, threads);
-                    const double speedup =
-                        agent.rate() > 0.0 ? batched.rate() / agent.rate() : 0.0;
-                    if (d.mode == BatchMode::automatic) auto_rate = batched.rate();
-                    if (d.mode == BatchMode::pairwise) pairwise_rate = batched.rate();
-                    if (d.mode == BatchMode::bulk) bulk_rate = batched.rate();
-                    cells.push_back(scientific(batched.rate()));
+                // Best fixed-engine rate among the engines actually measured
+                // in this cell — the hybrid row's comparison baseline.
+                double best_fixed_rate = agent.rate();
+                if (want_batched) {
+                    for (const BatchModeDescriptor& d : batch_mode_table) {
+                        const Measurement batched =
+                            measure(protocol, EngineKind::batched, d.mode, n,
+                                    steps_per_run, min_seconds, threads);
+                        const double speedup =
+                            agent.rate() > 0.0 ? batched.rate() / agent.rate() : 0.0;
+                        if (d.mode == BatchMode::automatic) auto_rate = batched.rate();
+                        if (d.mode == BatchMode::pairwise) pairwise_rate = batched.rate();
+                        if (d.mode == BatchMode::bulk) bulk_rate = batched.rate();
+                        best_fixed_rate = std::max(best_fixed_rate, batched.rate());
+                        cells.push_back(scientific(batched.rate()));
 
-                    JsonValue row = JsonValue::object();
-                    row.set("protocol", protocol);
-                    row.set("n", static_cast<std::uint64_t>(n));
-                    row.set("threads", static_cast<std::uint64_t>(threads));
-                    row.set("steps_per_run", steps_per_run);
-                    row.set("engine", std::string(to_string(EngineKind::batched)));
-                    row.set("batch_mode", std::string(d.name));
-                    row.set("interactions_per_sec", batched.rate());
-                    row.set("speedup_vs_agent", speedup);
-                    rows.push_back(std::move(row));
+                        JsonValue row = JsonValue::object();
+                        row.set("protocol", protocol);
+                        row.set("n", static_cast<std::uint64_t>(n));
+                        row.set("threads", static_cast<std::uint64_t>(threads));
+                        row.set("steps_per_run", steps_per_run);
+                        row.set("engine", std::string(to_string(EngineKind::batched)));
+                        row.set("batch_mode", std::string(d.name));
+                        row.set("interactions_per_sec", batched.rate());
+                        row.set("speedup_vs_agent", speedup);
+                        rows.push_back(std::move(row));
+                    }
                 }
-                const Measurement gillespie =
-                    measure(protocol, EngineKind::gillespie, BatchMode::automatic, n,
-                            steps_per_run, min_seconds, threads);
-                cells.push_back(scientific(gillespie.rate()));
+                Measurement gillespie;
+                if (want_gillespie) {
+                    gillespie = measure(protocol, EngineKind::gillespie,
+                                        BatchMode::automatic, n, steps_per_run,
+                                        min_seconds, threads);
+                    best_fixed_rate = std::max(best_fixed_rate, gillespie.rate());
+                    cells.push_back(scientific(gillespie.rate()));
 
-                JsonValue gillespie_row = JsonValue::object();
-                gillespie_row.set("protocol", protocol);
-                gillespie_row.set("n", static_cast<std::uint64_t>(n));
-                gillespie_row.set("threads", static_cast<std::uint64_t>(threads));
-                gillespie_row.set("steps_per_run", steps_per_run);
-                gillespie_row.set("engine",
-                                  std::string(to_string(EngineKind::gillespie)));
-                gillespie_row.set("interactions_per_sec", gillespie.rate());
-                gillespie_row.set("speedup_vs_agent", agent.rate() > 0.0
-                                                          ? gillespie.rate() / agent.rate()
-                                                          : 0.0);
-                gillespie_row.set("speedup_vs_batched_pairwise",
-                                  pairwise_rate > 0.0 ? gillespie.rate() / pairwise_rate
+                    JsonValue gillespie_row = JsonValue::object();
+                    gillespie_row.set("protocol", protocol);
+                    gillespie_row.set("n", static_cast<std::uint64_t>(n));
+                    gillespie_row.set("threads", static_cast<std::uint64_t>(threads));
+                    gillespie_row.set("steps_per_run", steps_per_run);
+                    gillespie_row.set("engine",
+                                      std::string(to_string(EngineKind::gillespie)));
+                    gillespie_row.set("interactions_per_sec", gillespie.rate());
+                    gillespie_row.set("speedup_vs_agent",
+                                      agent.rate() > 0.0
+                                          ? gillespie.rate() / agent.rate()
+                                          : 0.0);
+                    gillespie_row.set("speedup_vs_batched_pairwise",
+                                      pairwise_rate > 0.0
+                                          ? gillespie.rate() / pairwise_rate
+                                          : 0.0);
+                    rows.push_back(std::move(gillespie_row));
+                }
+                Measurement hybrid;
+                if (want_hybrid) {
+                    hybrid = measure(protocol, EngineKind::hybrid, BatchMode::automatic,
+                                     n, steps_per_run, min_seconds, threads);
+                    cells.push_back(scientific(hybrid.rate()));
+
+                    JsonValue hybrid_row = JsonValue::object();
+                    hybrid_row.set("protocol", protocol);
+                    hybrid_row.set("n", static_cast<std::uint64_t>(n));
+                    hybrid_row.set("threads", static_cast<std::uint64_t>(threads));
+                    hybrid_row.set("steps_per_run", steps_per_run);
+                    hybrid_row.set("engine", std::string(to_string(EngineKind::hybrid)));
+                    hybrid_row.set("interactions_per_sec", hybrid.rate());
+                    hybrid_row.set("speedup_vs_agent",
+                                   agent.rate() > 0.0 ? hybrid.rate() / agent.rate()
                                                       : 0.0);
-                rows.push_back(std::move(gillespie_row));
+                    hybrid_row.set("speedup_vs_best_fixed",
+                                   best_fixed_rate > 0.0
+                                       ? hybrid.rate() / best_fixed_rate
+                                       : 0.0);
+                    rows.push_back(std::move(hybrid_row));
+                }
 
-                cells.push_back(
-                    ratio(agent.rate() > 0.0 ? auto_rate / agent.rate() : 0.0));
-                cells.push_back(
-                    ratio(pairwise_rate > 0.0 ? bulk_rate / pairwise_rate : 0.0));
-                cells.push_back(
-                    ratio(pairwise_rate > 0.0 ? gillespie.rate() / pairwise_rate : 0.0));
+                if (want_agent && want_batched) {
+                    cells.push_back(
+                        ratio(agent.rate() > 0.0 ? auto_rate / agent.rate() : 0.0));
+                }
+                if (want_batched) {
+                    cells.push_back(
+                        ratio(pairwise_rate > 0.0 ? bulk_rate / pairwise_rate : 0.0));
+                }
+                if (want_gillespie && want_batched) {
+                    cells.push_back(ratio(
+                        pairwise_rate > 0.0 ? gillespie.rate() / pairwise_rate : 0.0));
+                }
+                if (want_hybrid) {
+                    cells.push_back(ratio(best_fixed_rate > 0.0
+                                              ? hybrid.rate() / best_fixed_rate
+                                              : 0.0));
+                }
                 table.add_row(cells);
             }
         }
@@ -224,6 +300,8 @@ int main(int argc, char** argv) {
     ArgParser args;
     args.declare("protocols", "comma-separated registry names",
                  "angluin06,loose_sud12,lottery,pll,rated_epidemic,rated_election");
+    args.declare("engines", "comma-separated engine names: " + engine_kind_list(),
+                 "agent,batched,gillespie,hybrid");
     args.declare("sizes", "comma-separated population sizes",
                  "1024,16384,1048576,16777216");
     args.declare("threads",
