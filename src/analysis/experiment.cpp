@@ -84,6 +84,16 @@ SweepResult run_sweep(const SweepConfig& config) {
                 const auto sim = registry.make_simulation(config.protocol, n, seed,
                                                           config.engine, config.batch_mode,
                                                           engine_threads);
+                if (!config.checkpoint_dir.empty()) {
+                    const StepCount every =
+                        config.checkpoint_every > 0
+                            ? config.checkpoint_every
+                            : std::max<StepCount>(1, max_steps / 8);
+                    sim->set_checkpoint(config.checkpoint_dir + "/" + config.protocol +
+                                            "-n" + std::to_string(n) + "-rep" +
+                                            std::to_string(rep) + ".ppck",
+                                        every);
+                }
                 std::optional<TrajectoryRecorder> recorder;
                 if (config.trajectory_stride > 0) {
                     recorder.emplace(config.trajectory_stride,

@@ -85,6 +85,18 @@ struct SweepConfig {
     /// records aggregate into SweepPoint::recovery_time / recovery_rows.
     /// The code path behind `ppsim_sim --inject` and `--scenario`.
     FaultPlan fault_plan;
+    /// When non-empty, every repetition periodically checkpoints its full
+    /// run state (core/persist.hpp "PPCK" containers, one file per
+    /// repetition: "<protocol>-n<N>-rep<R>.ppck") into this directory, so a
+    /// killed sweep's longest runs can be resumed individually via
+    /// ProtocolRegistry::resume_simulation / `ppsim_sim --resume`. The
+    /// directory is created on first write.
+    std::string checkpoint_dir;
+    /// Checkpoint cadence in steps for `checkpoint_dir` (0 = an eighth of
+    /// the repetition's step budget). The cadence is part of the replay
+    /// contract (see docs/ARCHITECTURE.md): runs checkpointing on different
+    /// cadences slice their engine rounds differently.
+    StepCount checkpoint_every = 0;
     /// Optional per-repetition observer factory: called as (n, rep) before
     /// each run; the returned observer is attached to that run's Simulation
     /// and destroyed right after it completes. Use for custom

@@ -291,6 +291,45 @@ public:
     /// touching counts or randomness.
     void advance_silent(StepCount count) noexcept { steps_ += count; }
 
+    // --- checkpointing ------------------------------------------------------
+
+    /// Serialises the engine's complete replay-relevant state: the batch and
+    /// fault stream positions, the shard round counter (every shard stream
+    /// is a pure function of it — the PR 7 contract), the interned count
+    /// store, and the step/leader/stabilisation counters. Legal between
+    /// public calls only (touched multiset empty), which the store asserts.
+    void save_state(CheckpointWriter& w) const {
+        w.u64(n_);
+        w.pod(rng_.state());
+        w.pod(fault_rng_.state());
+        w.u64(shard_ctx_ ? shard_ctx_->round() : 0);
+        store_.save_state(w);
+        w.u64(steps_);
+        w.u64(leader_count_);
+        w.opt_u64(first_single_leader_step_);
+        w.boolean(role_change_seen_);
+    }
+
+    /// Restores a `save_state` payload into an engine built with the same
+    /// protocol, batch mode and thread count. The transition cache is
+    /// dropped (a pure memo, but its entries may reference states interned
+    /// after the checkpoint was taken); recomputation re-interns outputs in
+    /// the exact order the original run did, so replay stays bit-identical.
+    void restore_state(CheckpointReader& r) {
+        n_ = r.u64();
+        rng_.set_state(r.pod<std::array<std::uint64_t, 4>>());
+        fault_rng_.set_state(r.pod<std::array<std::uint64_t, 4>>());
+        const std::uint64_t round = r.u64();
+        if (shard_ctx_) shard_ctx_->set_round(round);
+        store_.restore_state(protocol_, r);
+        steps_ = r.u64();
+        leader_count_ = r.u64();
+        first_single_leader_step_ = r.opt_u64();
+        role_change_seen_ = r.boolean();
+        cache_ = TransitionCache{};
+        if (n_ >= 2) run_sampler_ = CollisionRunSampler(n_);
+    }
+
 private:
     // --- interning --------------------------------------------------------
 

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "checkpoint_io.hpp"
 #include "state_index.hpp"
 
 namespace ppsim {
@@ -192,6 +193,43 @@ public:
         }
         compact_live();
         return total;
+    }
+
+    // --- checkpointing (between rounds) -------------------------------------
+
+    /// Serialises the store for a checkpoint: interned states in id order
+    /// (id assignment order is part of the replay contract — downstream
+    /// multiset chains walk ids), their counts, and the live list *in its
+    /// current order* (the chains walk it in order too). Only legal between
+    /// rounds: the touched multiset must be empty.
+    void save_state(CheckpointWriter& w) const {
+        ensure(touched_total_ == 0 && touched_ids_.empty(),
+               "cannot checkpoint a count store mid-round");
+        w.u64(index_.size());
+        for (StateId id = 0; id < index_.size(); ++id) w.pod(index_.state(id));
+        for (StateId id = 0; id < index_.size(); ++id) w.u64(counts_[id]);
+        w.u64(live_ids_.size());
+        for (const StateId id : live_ids_) w.u32(id);
+    }
+
+    /// Rebuilds the store from a `save_state` payload: re-interns the saved
+    /// states in id order (reproducing the exact id assignment), restores
+    /// the counts, and replays the live list in its saved order.
+    void restore_state(const P& proto, CheckpointReader& r) {
+        *this = InternedCountStore<P>{};
+        const std::uint64_t states = r.u64();
+        for (std::uint64_t i = 0; i < states; ++i) {
+            const State s = r.pod<State>();
+            const StateId id = intern(proto, s);
+            require(id == i, "checkpoint holds duplicate interned states");
+        }
+        for (StateId id = 0; id < states; ++id) counts_[id] = r.u64();
+        const std::uint64_t live = r.u64();
+        for (std::uint64_t i = 0; i < live; ++i) {
+            const StateId id = r.u32();
+            require(id < states, "checkpoint live list references unknown state");
+            make_live(id);
+        }
     }
 
 private:

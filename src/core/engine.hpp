@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "checkpoint_io.hpp"
 #include "common.hpp"
 #include "fault.hpp"
 #include "population.hpp"
@@ -378,6 +379,45 @@ public:
 
     /// Direct access to the scheduler (e.g. to inspect or reseed streams).
     [[nodiscard]] UniformScheduler& scheduler() noexcept { return scheduler_; }
+
+    // --- checkpointing ------------------------------------------------------
+
+    /// Serialises the engine's complete replay-relevant state: the raw agent
+    /// states, every PRNG stream position (scheduler, thinning, fault), and
+    /// the step/leader/stabilisation counters. The streams are private by
+    /// design, so this is a member rather than an external walker.
+    void save_state(CheckpointWriter& w) const {
+        static_assert(std::is_trivially_copyable_v<State>);
+        w.u64(population_.size());
+        w.raw(population_.states().data(), population_.size() * sizeof(State));
+        w.pod(scheduler_.rng().state());
+        w.pod(thin_rng_.state());
+        w.pod(fault_rng_.state());
+        w.u64(steps_);
+        w.u64(leader_count_);
+        w.opt_u64(first_single_leader_step_);
+    }
+
+    /// Restores a `save_state` payload. The engine must have been built with
+    /// the same protocol; the population is resized if faults changed n.
+    void restore_state(CheckpointReader& r) {
+        const std::uint64_t n = r.u64();
+        require(n >= 1, "checkpointed population is empty");
+        // Resize by append/remove rather than reconstruction: a crash fault
+        // may have left fewer than the two agents Population's ctor demands.
+        while (population_.size() > n) population_.remove_swap(0);
+        if (population_.size() < n) {
+            population_.append(protocol_.initial_state(), n - population_.size());
+        }
+        scheduler_.set_population_size(n);
+        r.raw(population_.states().data(), population_.size() * sizeof(State));
+        scheduler_.rng().set_state(r.pod<std::array<std::uint64_t, 4>>());
+        thin_rng_.set_state(r.pod<std::array<std::uint64_t, 4>>());
+        fault_rng_.set_state(r.pod<std::array<std::uint64_t, 4>>());
+        steps_ = r.u64();
+        leader_count_ = r.u64();
+        first_single_leader_step_ = r.opt_u64();
+    }
 
 private:
     /// Rejection-thinning draw: does the scheduled pair's transition fire?

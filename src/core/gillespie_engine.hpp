@@ -370,6 +370,51 @@ public:
     /// touching counts or randomness.
     void advance_silent(StepCount count) noexcept { steps_ += count; }
 
+    // --- checkpointing ------------------------------------------------------
+
+    /// Serialises the engine's complete replay-relevant state: the SSA and
+    /// fault stream positions, the shard round counter, the interned count
+    /// store, the step/leader/stabilisation counters and the leap/event
+    /// tallies. The channel list and its weights are per-round transients
+    /// (rebuilt from the live counts at the top of every round), so they
+    /// are never persisted. Legal between public calls only.
+    void save_state(CheckpointWriter& w) const {
+        w.u64(n_);
+        w.pod(rng_.state());
+        w.pod(fault_rng_.state());
+        w.u64(shard_ctx_ ? shard_ctx_->round() : 0);
+        store_.save_state(w);
+        w.u64(steps_);
+        w.u64(leader_count_);
+        w.opt_u64(first_single_leader_step_);
+        w.boolean(role_change_seen_);
+        w.u64(leaps_);
+        w.u64(exact_events_);
+        w.u64(dropped_pairs_);
+    }
+
+    /// Restores a `save_state` payload into an engine built with the same
+    /// protocol and thread count. The transition cache is dropped (its
+    /// entries may reference states interned after the checkpoint);
+    /// recomputation re-interns outputs in the original order, keeping
+    /// replay bit-identical.
+    void restore_state(CheckpointReader& r) {
+        n_ = r.u64();
+        rng_.set_state(r.pod<std::array<std::uint64_t, 4>>());
+        fault_rng_.set_state(r.pod<std::array<std::uint64_t, 4>>());
+        const std::uint64_t round = r.u64();
+        if (shard_ctx_) shard_ctx_->set_round(round);
+        store_.restore_state(protocol_, r);
+        steps_ = r.u64();
+        leader_count_ = r.u64();
+        first_single_leader_step_ = r.opt_u64();
+        role_change_seen_ = r.boolean();
+        leaps_ = r.u64();
+        exact_events_ = r.u64();
+        dropped_pairs_ = r.u64();
+        cache_ = TransitionCache{};
+    }
+
 private:
     /// One non-null reaction channel: the ordered state pair and its current
     /// propensity weight. `weight` is the structural part c_a·(c_b − [a = b])

@@ -71,6 +71,7 @@
 
 #include "batched_engine.hpp"
 #include "calibration.hpp"
+#include "checkpoint_io.hpp"
 #include "common.hpp"
 #include "engine.hpp"
 #include "gillespie_engine.hpp"
@@ -543,6 +544,63 @@ public:
         // Everything outside the considered pairs counts as non-null.
         f.null_mass = std::clamp((included - nonnull) / w_total, 0.0, 1.0);
         return f;
+    }
+
+    // --- checkpointing ------------------------------------------------------
+
+    /// Serialises the meta-engine's adaptive state — the active mode, the
+    /// segment index (stream split position), the evaluation cadence — plus
+    /// the calibration table that drove every decision so far (a resumed run
+    /// must keep deciding from the *same* table: re-probing on resume would
+    /// fork the trajectory) and the active inner engine's full state.
+    void save_state(CheckpointWriter& w) const {
+        w.u64(n_);
+        w.u8(static_cast<std::uint8_t>(mode_));
+        w.u64(segment_);
+        w.u64(switches_);
+        w.u64(eval_interval_);
+        w.u64(next_eval_step_);
+        w.boolean(forced_);
+        w.u64(table_.threads);
+        w.u64(table_.probe_population);
+        for (const ModeCost& cost : table_.costs) {
+            w.f64(cost.wide_ns);
+            w.f64(cost.narrow_ns);
+            w.f64(cost.wide_exponent);
+            w.f64(cost.narrow_exponent);
+        }
+        with_engine([&w](const auto& e) { e.save_state(w); });
+    }
+
+    /// Restores a `save_state` payload into an engine built with the same
+    /// protocol, root seed and thread count. The checkpointed table replaces
+    /// whatever the constructor probed (or read from the cache), and the
+    /// active inner engine is rebuilt on its original segment stream before
+    /// its own state is restored into it.
+    void restore_state(CheckpointReader& r) {
+        const std::uint64_t restored_n = r.u64();
+        // Inner constructors demand two agents, but a crash fault may have
+        // checkpointed a single survivor; construct at 2 and let the inner
+        // restore re-apply the true population (it overwrites everything).
+        n_ = std::max<std::size_t>(restored_n, 2);
+        const std::uint8_t mode = r.u8();
+        require(mode < hybrid_mode_count, "checkpoint names an unknown hybrid mode");
+        segment_ = r.u64();
+        switches_ = r.u64();
+        eval_interval_ = r.u64();
+        next_eval_step_ = r.u64();
+        forced_ = r.boolean();
+        table_.threads = r.u64();
+        table_.probe_population = r.u64();
+        for (ModeCost& cost : table_.costs) {
+            cost.wide_ns = r.f64();
+            cost.narrow_ns = r.f64();
+            cost.wide_exponent = r.f64();
+            cost.narrow_exponent = r.f64();
+        }
+        construct_engine(static_cast<HybridMode>(mode));
+        with_engine([&r](auto& e) { e.restore_state(r); });
+        n_ = restored_n;
     }
 
 private:

@@ -25,6 +25,33 @@ namespace {
     return next + catch_up;
 }
 
+// --- checkpoint serialisation helpers ---------------------------------------
+
+void write_snapshot(CheckpointWriter& w, const ConfigurationSnapshot& snapshot) {
+    w.u64(snapshot.step);
+    w.u64(snapshot.counts.size());
+    for (const StateCount& sc : snapshot.counts) {
+        w.u64(sc.key);
+        w.u64(sc.count);
+        w.u8(static_cast<std::uint8_t>(sc.role));
+    }
+}
+
+[[nodiscard]] ConfigurationSnapshot read_snapshot(CheckpointReader& r) {
+    ConfigurationSnapshot snapshot;
+    snapshot.step = r.u64();
+    const std::uint64_t entries = r.u64();
+    snapshot.counts.reserve(entries);
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        StateCount sc;
+        sc.key = r.u64();
+        sc.count = r.u64();
+        sc.role = r.u8() != 0 ? Role::leader : Role::follower;
+        snapshot.counts.push_back(sc);
+    }
+    return snapshot;
+}
+
 }  // namespace
 
 // --- TrajectoryRecorder -----------------------------------------------------
@@ -64,6 +91,36 @@ std::vector<TrajectoryPoint> TrajectoryRecorder::take_points() {
     points_.clear();
     next_ = 0;
     return out;
+}
+
+void TrajectoryRecorder::save_state(CheckpointWriter& w) const {
+    // The recorded points carry over (the resumed process reports the whole
+    // series), and preserving the tail sample keeps record()'s same-step
+    // dedup working across the resume boundary — the run-start observation
+    // after a resume must not duplicate the checkpoint-step sample.
+    w.u64(next_);
+    w.u64(points_.size());
+    for (const TrajectoryPoint& p : points_) {
+        w.u64(p.step);
+        w.f64(p.parallel_time);
+        w.u64(p.leader_count);
+        w.u64(p.live_states);
+    }
+}
+
+void TrajectoryRecorder::restore_state(CheckpointReader& r) {
+    next_ = r.u64();
+    const std::uint64_t count = r.u64();
+    points_.clear();
+    points_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TrajectoryPoint p;
+        p.step = r.u64();
+        p.parallel_time = r.f64();
+        p.leader_count = r.u64();
+        p.live_states = r.u64();
+        points_.push_back(p);
+    }
 }
 
 void TrajectoryRecorder::write_csv(std::ostream& out) const {
@@ -106,6 +163,20 @@ void SnapshotRecorder::observe(const Simulation& sim) {
 
 void SnapshotRecorder::finish(const Simulation& sim) { record(sim); }
 
+void SnapshotRecorder::save_state(CheckpointWriter& w) const {
+    w.u64(next_);
+    w.u64(snapshots_.size());
+    for (const ConfigurationSnapshot& s : snapshots_) write_snapshot(w, s);
+}
+
+void SnapshotRecorder::restore_state(CheckpointReader& r) {
+    next_ = r.u64();
+    const std::uint64_t count = r.u64();
+    snapshots_.clear();
+    snapshots_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) snapshots_.push_back(read_snapshot(r));
+}
+
 // --- ConvergenceObserver ----------------------------------------------------
 
 ConvergenceObserver::ConvergenceObserver(std::vector<std::size_t> thresholds,
@@ -138,6 +209,22 @@ void ConvergenceObserver::observe(const Simulation& sim) {
         next_ = done ? SimulationObserver::no_deadline
                      : advance_deadline(next_, sim.steps(), stride_);
     }
+}
+
+void ConvergenceObserver::save_state(CheckpointWriter& w) const {
+    // Thresholds come from the constructor; only the milestones already hit
+    // (and the cadence position) are run state.
+    w.u64(next_);
+    w.u64(reached_.size());
+    for (const std::optional<StepCount>& step : reached_) w.opt_u64(step);
+}
+
+void ConvergenceObserver::restore_state(CheckpointReader& r) {
+    next_ = r.u64();
+    const std::uint64_t count = r.u64();
+    require(count == reached_.size(),
+            "checkpointed convergence observer tracked a different threshold set");
+    for (std::optional<StepCount>& step : reached_) step = r.opt_u64();
 }
 
 std::optional<StepCount> ConvergenceObserver::first_step_at_or_below(
@@ -186,6 +273,35 @@ void DeadlineObserver::finish(const Simulation& sim) {
     if (!report_) record(sim, /*reached=*/false);
 }
 
+void DeadlineObserver::save_state(CheckpointWriter& w) const {
+    // A deadline fires exactly once per run: persisting the report keeps a
+    // resumed run from firing again (and a resumed pre-deadline run from
+    // losing the pending deadline — next_due() re-derives from report_).
+    w.boolean(report_.has_value());
+    if (report_) {
+        w.u64(report_->step);
+        w.f64(report_->parallel_time);
+        w.u64(report_->leader_count);
+        w.u64(report_->live_states);
+        w.boolean(report_->reached_deadline);
+        w.boolean(report_->stabilized);
+    }
+}
+
+void DeadlineObserver::restore_state(CheckpointReader& r) {
+    report_.reset();
+    if (r.boolean()) {
+        DeadlineReport report;
+        report.step = r.u64();
+        report.parallel_time = r.f64();
+        report.leader_count = r.u64();
+        report.live_states = r.u64();
+        report.reached_deadline = r.boolean();
+        report.stabilized = r.boolean();
+        report_ = report;
+    }
+}
+
 // --- TimedSnapshotRecorder --------------------------------------------------
 
 TimedSnapshotRecorder::TimedSnapshotRecorder(std::vector<double> times, std::size_t n) {
@@ -231,6 +347,27 @@ void TimedSnapshotRecorder::finish(const Simulation& sim) {
         snapshots_[captured_].snapshot = final_census;
         snapshots_[captured_].reached = false;
         ++captured_;
+    }
+}
+
+void TimedSnapshotRecorder::save_state(CheckpointWriter& w) const {
+    // The time points (and their target steps) come from the constructor;
+    // run state is which leading entries were captured and what they hold.
+    w.u64(captured_);
+    for (std::size_t i = 0; i < captured_; ++i) {
+        w.boolean(snapshots_[i].reached);
+        write_snapshot(w, snapshots_[i].snapshot);
+    }
+}
+
+void TimedSnapshotRecorder::restore_state(CheckpointReader& r) {
+    const std::uint64_t captured = r.u64();
+    require(captured <= snapshots_.size(),
+            "checkpointed timed-snapshot recorder captured more points than configured");
+    captured_ = captured;
+    for (std::size_t i = 0; i < captured_; ++i) {
+        snapshots_[i].reached = r.boolean();
+        snapshots_[i].snapshot = read_snapshot(r);
     }
 }
 
@@ -293,5 +430,34 @@ void RecoveryObserver::observe(const Simulation& sim) {
 }
 
 void RecoveryObserver::finish(const Simulation& sim) { observe(sim); }
+
+void RecoveryObserver::save_state(CheckpointWriter& w) const {
+    // tracked_ keeps a resumed run from re-opening records for faults that
+    // fired before the checkpoint; the records carry the pending (not yet
+    // recovered) fault state the resumed run must keep resolving.
+    w.u64(tracked_);
+    w.u64(records_.size());
+    for (const RecoveryRecord& record : records_) {
+        w.u64(record.fault_index);
+        w.u64(record.fault_step);
+        w.f64(record.fault_time);
+        w.opt_u64(record.recovery_step);
+    }
+}
+
+void RecoveryObserver::restore_state(CheckpointReader& r) {
+    tracked_ = r.u64();
+    const std::uint64_t count = r.u64();
+    records_.clear();
+    records_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        RecoveryRecord record;
+        record.fault_index = r.u64();
+        record.fault_step = r.u64();
+        record.fault_time = r.f64();
+        record.recovery_step = r.opt_u64();
+        records_.push_back(record);
+    }
+}
 
 }  // namespace ppsim

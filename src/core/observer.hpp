@@ -52,6 +52,8 @@ public:
     [[nodiscard]] StepCount next_due() const noexcept override { return next_; }
     void observe(const Simulation& sim) override;
     void finish(const Simulation& sim) override;
+    void save_state(CheckpointWriter& w) const override;
+    void restore_state(CheckpointReader& r) override;
 
     [[nodiscard]] const std::vector<TrajectoryPoint>& points() const noexcept {
         return points_;
@@ -92,6 +94,8 @@ public:
     [[nodiscard]] StepCount next_due() const noexcept override { return next_; }
     void observe(const Simulation& sim) override;
     void finish(const Simulation& sim) override;
+    void save_state(CheckpointWriter& w) const override;
+    void restore_state(CheckpointReader& r) override;
 
     [[nodiscard]] const std::vector<ConfigurationSnapshot>& snapshots() const noexcept {
         return snapshots_;
@@ -120,6 +124,8 @@ public:
 
     [[nodiscard]] StepCount next_due() const noexcept override { return next_; }
     void observe(const Simulation& sim) override;
+    void save_state(CheckpointWriter& w) const override;
+    void restore_state(CheckpointReader& r) override;
 
     /// First observed step with leader count ≤ `threshold`; unset when the
     /// run never got there (or the threshold was not configured).
@@ -172,6 +178,8 @@ public:
     [[nodiscard]] StepCount next_due() const noexcept override;
     void observe(const Simulation& sim) override;
     void finish(const Simulation& sim) override;
+    void save_state(CheckpointWriter& w) const override;
+    void restore_state(CheckpointReader& r) override;
 
     /// The absolute step index the deadline converts to.
     [[nodiscard]] StepCount deadline_step() const noexcept { return deadline_; }
@@ -216,6 +224,8 @@ public:
     [[nodiscard]] StepCount next_due() const noexcept override;
     void observe(const Simulation& sim) override;
     void finish(const Simulation& sim) override;
+    void save_state(CheckpointWriter& w) const override;
+    void restore_state(CheckpointReader& r) override;
 
     /// Captured snapshots, one per requested point, in ascending time order.
     /// Entries past `captured_count()` are not yet recorded.
@@ -273,6 +283,8 @@ public:
     [[nodiscard]] StepCount next_due() const noexcept override { return no_deadline; }
     void observe(const Simulation& sim) override;
     void finish(const Simulation& sim) override;
+    void save_state(CheckpointWriter& w) const override;
+    void restore_state(CheckpointReader& r) override;
 
     /// One record per applied non-silence fault, in firing order.
     [[nodiscard]] const std::vector<RecoveryRecord>& records() const noexcept {

@@ -1,16 +1,22 @@
 #include "persist.hpp"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+
+#include "calibration.hpp"  // cpu_signature()
 
 namespace ppsim {
 
 namespace {
 
-constexpr std::uint32_t schedule_magic = 0x50505343;  // "PPSC"
-constexpr std::uint32_t config_magic = 0x50504346;    // "PPCF"
+constexpr std::uint32_t schedule_magic = 0x50505343;    // "PPSC"
+constexpr std::uint32_t config_magic = 0x50504346;      // "PPCF"
+constexpr std::uint32_t checkpoint_magic = 0x5050434B;  // "PPCK"
 constexpr std::uint32_t format_version = 1;
+constexpr std::uint32_t checkpoint_format_version = 1;
 
 void write_u32(std::ofstream& out, std::uint32_t v) {
     out.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -32,6 +38,20 @@ std::uint64_t read_u64(std::ifstream& in) {
     in.read(reinterpret_cast<char*>(&v), sizeof v);
     require(in.good(), "truncated file while reading header");
     return v;
+}
+
+void write_string(std::ofstream& out, std::string_view s) {
+    write_u64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in) {
+    const std::uint64_t len = read_u64(in);
+    require(len < 4096, "implausible string length");
+    std::string s(len, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(len));
+    require(in.good(), "truncated string payload");
+    return s;
 }
 
 std::ofstream open_for_write(const std::string& path) {
@@ -107,6 +127,83 @@ ConfigurationDump load_configuration(const std::string& path) {
             static_cast<std::streamsize>(dump.states.size()));
     require(in.good(), "truncated configuration payload");
     return dump;
+}
+
+std::uint64_t checkpoint_checksum(std::string_view payload) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+    for (const char c : payload) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;  // FNV prime
+    }
+    return h;
+}
+
+void save_checkpoint(const std::string& path, const CheckpointHeader& header,
+                     const std::string& payload) {
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(target.parent_path(), ec);
+    }
+    // Temp-file-plus-rename: a crash mid-write (the very event checkpoints
+    // exist for) or a concurrent reader can never observe a torn file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<std::uint64_t>(::getpid()));
+    {
+        std::ofstream out = open_for_write(tmp);
+        write_u32(out, checkpoint_magic);
+        write_u32(out, checkpoint_format_version);
+        write_string(out, library_version);
+        write_string(out, cpu_signature());
+        write_string(out, header.protocol);
+        write_string(out, header.engine);
+        write_string(out, header.batch_mode);
+        write_u64(out, header.population);
+        write_u64(out, header.seed);
+        write_u64(out, header.threads);
+        write_u64(out, header.step);
+        write_u64(out, payload.size());
+        out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+        write_u64(out, checkpoint_checksum(payload));
+        require(out.good(), "I/O error while writing " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        require(false, "cannot move checkpoint into place at " + path);
+    }
+}
+
+CheckpointHeader load_checkpoint(const std::string& path, std::string& payload) {
+    std::ifstream in = open_for_read(path);
+    require(read_u32(in) == checkpoint_magic, path + " is not a ppsim checkpoint file");
+    require(read_u32(in) == checkpoint_format_version,
+            "unsupported checkpoint format version in " + path);
+    require(read_string(in) == library_version,
+            "checkpoint " + path + " was written by another library version");
+    require(read_string(in) == cpu_signature(),
+            "checkpoint " + path +
+                " was written on another machine (CPU signature mismatch); "
+                "bit-identical resume is only defined on the original machine");
+    CheckpointHeader header;
+    header.protocol = read_string(in);
+    header.engine = read_string(in);
+    header.batch_mode = read_string(in);
+    header.population = read_u64(in);
+    header.seed = read_u64(in);
+    header.threads = read_u64(in);
+    header.step = read_u64(in);
+    const std::uint64_t payload_size = read_u64(in);
+    payload.resize(payload_size);
+    in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+    require(in.good() && static_cast<std::uint64_t>(in.gcount()) == payload_size,
+            "truncated checkpoint payload in " + path);
+    const std::uint64_t stored = read_u64(in);
+    require(stored == checkpoint_checksum(payload),
+            "checkpoint payload checksum mismatch in " + path +
+                " (file corrupted); refusing to resume");
+    return header;
 }
 
 }  // namespace ppsim

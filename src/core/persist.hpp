@@ -68,4 +68,43 @@ void save_configuration(const std::string& path, const ConfigurationDump& dump);
 /// Reads a configuration dump written by save_configuration.
 [[nodiscard]] ConfigurationDump load_configuration(const std::string& path);
 
+// --- checkpoints ("PPCK") ---------------------------------------------------
+
+/// Identity of a checkpointed run: everything `--resume` needs to rebuild
+/// the simulation through the registry before handing the payload to
+/// `Simulation::restore_checkpoint`. Engine and batch mode are stored as
+/// their table names (engine.hpp / batch_pairing.hpp) so this header stays
+/// independent of the enum layouts.
+struct CheckpointHeader {
+    std::string protocol;          ///< registry name
+    std::string engine;            ///< engine_table name ("agent", "hybrid", ...)
+    std::string batch_mode;        ///< batch_mode_table name ("auto", ...)
+    std::uint64_t population = 0;  ///< n the simulation was constructed with
+    std::uint64_t seed = 0;        ///< root seed
+    std::uint64_t threads = 1;     ///< count-engine worker threads
+    std::uint64_t step = 0;        ///< step the checkpoint was taken at (informational)
+};
+
+/// FNV-1a 64-bit hash — the checkpoint payload checksum.
+[[nodiscard]] std::uint64_t checkpoint_checksum(std::string_view payload) noexcept;
+
+/// Writes a checkpoint container: validated header (magic "PPCK", format
+/// version, library version, CPU signature) plus the length-prefixed,
+/// checksummed opaque payload produced by `Simulation::save_checkpoint`.
+/// The write is atomic (temp file + rename), so a crash mid-write or a
+/// concurrent reader can never observe a torn checkpoint.
+void save_checkpoint(const std::string& path, const CheckpointHeader& header,
+                     const std::string& payload);
+
+/// Reads a checkpoint written by `save_checkpoint`, returning the header
+/// and filling `payload`. Strict by design — unlike the calibration cache
+/// (stale = silently re-probe), a checkpoint the user asked to resume from
+/// must either load exactly or fail with a clear error: wrong magic,
+/// unsupported format version, another library version, another CPU
+/// signature (thread scheduling and libm differences void the bit-identical
+/// resume contract across machines), truncation, or a payload checksum
+/// mismatch all throw InvalidArgument. No partial state escapes.
+[[nodiscard]] CheckpointHeader load_checkpoint(const std::string& path,
+                                               std::string& payload);
+
 }  // namespace ppsim

@@ -111,6 +111,18 @@ public:
         return child;
     }
 
+    /// The raw 256-bit state, for checkpointing a stream position.
+    [[nodiscard]] constexpr const std::array<std::uint64_t, 4>& state() const noexcept {
+        return state_;
+    }
+
+    /// Restores a state captured by `state()`. An all-zero state is the
+    /// generator's fixed point and can never be produced by it, so reject it.
+    constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+        state_ = s;
+        if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+    }
+
 private:
     [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
         return (x << static_cast<unsigned>(k)) | (x >> (64U - static_cast<unsigned>(k)));

@@ -82,6 +82,7 @@ public:
 
     /// Access to the underlying generator, e.g. to fork auxiliary streams.
     [[nodiscard]] Rng& rng() noexcept { return rng_; }
+    [[nodiscard]] const Rng& rng() const noexcept { return rng_; }
 
 private:
     std::size_t n_;

@@ -94,6 +94,14 @@ public:
     /// The shard's private stream for the current round.
     [[nodiscard]] Rng& rng(std::size_t shard) noexcept { return rngs_[shard]; }
 
+    /// The round counter — the only persistent state of the context: every
+    /// shard stream is re-derived from it by `begin_round()`, so a
+    /// checkpoint needs nothing but this value.
+    [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+    /// Restores a round counter captured by `round()` (checkpoint resume).
+    void set_round(std::uint64_t round) noexcept { round_ = round; }
+
     /// Runs fn(0..threads−1) across the pool; the calling thread participates.
     void run(const std::function<void(std::size_t)>& fn) { pool_.for_each(threads_, fn); }
 

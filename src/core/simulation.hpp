@@ -31,11 +31,13 @@
 #include <vector>
 
 #include "batched_engine.hpp"
+#include "checkpoint_io.hpp"
 #include "common.hpp"
 #include "engine.hpp"
 #include "fault.hpp"
 #include "gillespie_engine.hpp"
 #include "hybrid_engine.hpp"
+#include "persist.hpp"
 #include "protocol.hpp"
 
 namespace ppsim {
@@ -109,6 +111,15 @@ public:
     /// `run_for`/`step` calls do not fire it: they may be composed into a
     /// larger caller-driven loop. Default: nothing extra.
     virtual void finish(const Simulation& sim) { (void)sim; }
+
+    /// Serialises the observer's progress into a run checkpoint so a resumed
+    /// run neither double-reports nor loses what was already observed (a
+    /// deadline that fired must not fire again; recorded samples carry over).
+    /// Paired with `restore_state`, which must read exactly what was written
+    /// into a freshly constructed observer of the same type and
+    /// configuration. The defaults persist nothing (stateless observers).
+    virtual void save_state(CheckpointWriter& w) const { (void)w; }
+    virtual void restore_state(CheckpointReader& r) { (void)r; }
 };
 
 /// Type-erased simulation run: the uniform execution and observation
@@ -250,6 +261,140 @@ public:
 
     [[nodiscard]] std::size_t observer_count() const noexcept { return observers_.size(); }
 
+    // --- checkpointing ----------------------------------------------------
+
+    /// Serialises the complete run state into `w`: a run-identity preamble
+    /// (protocol / engine / batch-mode names, so restoring into a mismatched
+    /// simulation fails loudly instead of reading garbage), the engine
+    /// (configuration, every PRNG stream position, counters), the fault-plan
+    /// progress and the state of every attached observer. Legal between run
+    /// calls only — engines checkpoint at round boundaries.
+    void save_checkpoint(CheckpointWriter& w) const {
+        w.str(protocol_name());
+        w.str(to_string(engine_kind()));
+        w.str(to_string(batch_mode()));
+        save_engine_state(w);
+        w.u64(fault_n0_);
+        w.u64(silence_until_);
+        w.u64(fault_cursor_);
+        w.u64(scheduled_faults_.size());
+        for (const ScheduledFault& fault : scheduled_faults_) {
+            w.u64(fault.step);
+            w.f64(fault.time);
+            w.u8(static_cast<std::uint8_t>(fault.action.kind));
+            w.f64(fault.action.fraction);
+            w.u64(fault.action.count);
+            w.f64(fault.action.duration);
+        }
+        w.u64(observers_.size());
+        for (const SimulationObserver* obs : observers_) {
+            CheckpointWriter sub;
+            obs->save_state(sub);
+            w.str(sub.buffer());  // length-prefixed: a mismatch stays local
+        }
+    }
+
+    /// Restores a `save_checkpoint` payload into a simulation constructed
+    /// with the same protocol, engine, batch mode, seed and thread count,
+    /// with the same observers attached in the same order. Deliberately
+    /// bypasses `set_fault_plan`'s pre-run precondition: a resumed plan
+    /// continues mid-flight, cursor and silence window included.
+    void restore_checkpoint(CheckpointReader& r) {
+        const std::string proto = r.str();
+        require(proto == protocol_name(), "checkpoint was taken on protocol '" +
+                                              proto + "', not '" + protocol_name() + "'");
+        const std::string engine = r.str();
+        require(engine == to_string(engine_kind()),
+                "checkpoint was taken on the " + engine + " engine, not " +
+                    std::string(to_string(engine_kind())));
+        const std::string batch = r.str();
+        require(batch == to_string(batch_mode()),
+                "checkpoint was taken with batch mode " + batch + ", not " +
+                    std::string(to_string(batch_mode())));
+        restore_engine_state(r);
+        fault_n0_ = r.u64();
+        silence_until_ = r.u64();
+        fault_cursor_ = r.u64();
+        const std::uint64_t fault_count = r.u64();
+        scheduled_faults_.clear();
+        scheduled_faults_.reserve(fault_count);
+        for (std::uint64_t i = 0; i < fault_count; ++i) {
+            ScheduledFault fault;
+            fault.step = r.u64();
+            fault.time = r.f64();
+            const std::uint8_t kind = r.u8();
+            require(kind <= static_cast<std::uint8_t>(FaultKind::silence),
+                    "checkpoint names an unknown fault kind");
+            fault.action.kind = static_cast<FaultKind>(kind);
+            fault.action.fraction = r.f64();
+            fault.action.count = r.u64();
+            fault.action.duration = r.f64();
+            scheduled_faults_.push_back(fault);
+        }
+        require(fault_cursor_ <= scheduled_faults_.size(),
+                "checkpoint fault cursor out of range");
+        const std::uint64_t obs_count = r.u64();
+        require(obs_count == observers_.size(),
+                "checkpoint was taken with " + std::to_string(obs_count) +
+                    " observers attached, not " + std::to_string(observers_.size()));
+        for (SimulationObserver* obs : observers_) {
+            CheckpointReader sub(r.str());
+            obs->restore_state(sub);
+            sub.expect_end();
+        }
+    }
+
+    /// Writes the current run state as a PPCK checkpoint file (persist.hpp:
+    /// validated header + checksummed payload, atomic tmp+rename write).
+    void write_checkpoint(const std::string& path) const {
+        CheckpointWriter w;
+        save_checkpoint(w);
+        CheckpointHeader header;
+        header.protocol = protocol_name();
+        header.engine = std::string(to_string(engine_kind()));
+        header.batch_mode = std::string(to_string(batch_mode()));
+        header.population = population_size();
+        header.seed = run_seed_;
+        header.threads = run_threads_;
+        header.step = steps();
+        ppsim::save_checkpoint(path, header, w.buffer());
+    }
+
+    /// Restores this simulation from a PPCK file written by
+    /// `write_checkpoint`. Container validation (format version, library
+    /// version, CPU signature, truncation, checksum) happens in
+    /// `load_checkpoint`; run-identity cross-checks in `restore_checkpoint`;
+    /// trailing payload bytes fail via `expect_end`. Attach the run's
+    /// observers *before* calling this so their progress is restored too.
+    void restore_checkpoint_file(const std::string& path) {
+        std::string payload;
+        (void)load_checkpoint(path, payload);
+        CheckpointReader r(std::move(payload));
+        restore_checkpoint(r);
+        r.expect_end();
+    }
+
+    /// Enables periodic mid-run checkpointing: driven runs slice their
+    /// chunks at every multiple of `every` steps and rewrite `path` there.
+    /// The cadence is part of the replay contract exactly like `--threads`:
+    /// pausing at a step moves where the count engines' rounds end, so the
+    /// resume-equivalence reference run must checkpoint on the same cadence.
+    void set_checkpoint(std::string path, StepCount every) {
+        require(every >= 1, "checkpoint cadence must be at least one step");
+        checkpoint_path_ = std::move(path);
+        checkpoint_every_ = every;
+    }
+
+    /// Records the (seed, threads) the simulation was built with, for
+    /// checkpoint headers. `make_simulation` sets it; adapters constructed
+    /// directly default to (0, 1).
+    void set_run_identity(std::uint64_t seed, std::size_t threads) noexcept {
+        run_seed_ = seed;
+        run_threads_ = threads;
+    }
+    [[nodiscard]] std::uint64_t run_seed() const noexcept { return run_seed_; }
+    [[nodiscard]] std::size_t run_threads() const noexcept { return run_threads_; }
+
 protected:
     virtual RunResult run_for_impl(StepCount count) = 0;
     virtual RunResult run_until_one_leader_impl(StepCount max_steps) = 0;
@@ -259,6 +404,10 @@ protected:
     /// Advances the step counter by `count` without any interactions
     /// (transient silence: model time passes, nothing happens).
     virtual void advance_silent_impl(StepCount count) = 0;
+    /// Serialises the wrapped engine's full state (typed, engine-specific).
+    virtual void save_engine_state(CheckpointWriter& w) const = 0;
+    /// Restores what save_engine_state wrote into the wrapped engine.
+    virtual void restore_engine_state(CheckpointReader& r) = 0;
 
 private:
     /// Faults not yet fired from the attached plan.
@@ -266,10 +415,11 @@ private:
         return fault_cursor_ < scheduled_faults_.size();
     }
 
-    /// True when the run loop must slice chunks itself (pending faults or an
-    /// open silence window) instead of delegating to the engine's loop.
+    /// True when the run loop must slice chunks itself (pending faults, an
+    /// open silence window, or a periodic checkpoint cadence) instead of
+    /// delegating to the engine's loop.
     [[nodiscard]] bool driving_needed() const noexcept {
-        return faults_pending() || steps() < silence_until_;
+        return faults_pending() || steps() < silence_until_ || checkpoint_every_ > 0;
     }
 
     /// The driven run loop: advance in chunks sliced at the earliest
@@ -302,6 +452,12 @@ private:
                                 std::max(scheduled_faults_[fault_cursor_].step, now + 1));
             }
             if (now < silence_until_) next = std::min(next, silence_until_);
+            if (checkpoint_every_ > 0) {
+                // The next multiple of the cadence strictly past `now` (the
+                // one at `now` was written after the previous chunk).
+                next = std::min(next,
+                                now + (checkpoint_every_ - now % checkpoint_every_));
+            }
             const StepCount chunk = next - now;
             if (now < silence_until_) {
                 advance_silent_impl(std::min(chunk, silence_until_ - now));
@@ -312,6 +468,7 @@ private:
             }
             notify();
             apply_due_faults();
+            maybe_write_periodic_checkpoint();
         }
         if (notify_finish) {
             for (SimulationObserver* obs : observers_) obs->finish(*this);
@@ -346,11 +503,29 @@ private:
         for (SimulationObserver* obs : observers_) obs->observe(*this);
     }
 
+    /// Writes the periodic checkpoint when the run sits exactly on a cadence
+    /// multiple it has not written yet (an engine stopping early inside a
+    /// chunk — single leader reached — lands off the multiple and is skipped).
+    void maybe_write_periodic_checkpoint() {
+        if (checkpoint_every_ == 0) return;
+        const StepCount now = steps();
+        if (now == 0 || now % checkpoint_every_ != 0 || now == last_checkpoint_step_) {
+            return;
+        }
+        write_checkpoint(checkpoint_path_);
+        last_checkpoint_step_ = now;
+    }
+
     std::vector<SimulationObserver*> observers_;
     std::vector<ScheduledFault> scheduled_faults_;  ///< plan, sorted by step
     std::size_t fault_cursor_ = 0;   ///< next scheduled fault to fire
     StepCount silence_until_ = 0;    ///< absolute step where silence ends
     std::size_t fault_n0_ = 0;       ///< population at plan attach (time unit)
+    std::string checkpoint_path_;    ///< periodic checkpoint target
+    StepCount checkpoint_every_ = 0; ///< cadence in steps (0 = disabled)
+    StepCount last_checkpoint_step_ = 0;  ///< last cadence multiple written
+    std::uint64_t run_seed_ = 0;     ///< root seed, for checkpoint headers
+    std::size_t run_threads_ = 1;    ///< configured threads, for headers
 };
 
 /// Runs `sim` to a single leader within `max_steps`, then (optionally)
@@ -448,6 +623,12 @@ protected:
     void advance_silent_impl(StepCount count) override {
         engine_.advance_silent(count);
     }
+    void save_engine_state(CheckpointWriter& w) const override {
+        engine_.save_state(w);
+    }
+    void restore_engine_state(CheckpointReader& r) override {
+        engine_.restore_state(r);
+    }
 
 private:
     Engine<P> engine_;
@@ -518,6 +699,12 @@ protected:
     void advance_silent_impl(StepCount count) override {
         engine_.advance_silent(count);
     }
+    void save_engine_state(CheckpointWriter& w) const override {
+        engine_.save_state(w);
+    }
+    void restore_engine_state(CheckpointReader& r) override {
+        engine_.restore_state(r);
+    }
 
 private:
     EngineT engine_;
@@ -553,10 +740,16 @@ template <typename Factory>
     BatchMode batch_mode = BatchMode::automatic, std::size_t threads = 1) {
     using P = std::decay_t<decltype(factory(std::size_t{2}))>;
     static_assert(Protocol<P>, "factory must produce a Protocol");
+    // Record the run identity on whatever we hand out, so checkpoint headers
+    // can name the seed and thread count the run was built with.
+    const auto with_identity = [seed, threads](std::unique_ptr<Simulation> sim) {
+        sim->set_run_identity(seed, threads);
+        return sim;
+    };
     if (kind == EngineKind::batched) {
         if constexpr (InternableProtocol<P>) {
-            return std::make_unique<detail::BatchedSimulation<P>>(factory(n), n, seed,
-                                                                  batch_mode, threads);
+            return with_identity(std::make_unique<detail::BatchedSimulation<P>>(
+                factory(n), n, seed, batch_mode, threads));
         } else {
             throw InvalidArgument(
                 "protocol has no injective state key: batched engine unavailable");
@@ -564,8 +757,8 @@ template <typename Factory>
     }
     if (kind == EngineKind::gillespie) {
         if constexpr (InternableProtocol<P>) {
-            return std::make_unique<detail::GillespieSimulation<P>>(factory(n), n, seed,
-                                                                    threads);
+            return with_identity(std::make_unique<detail::GillespieSimulation<P>>(
+                factory(n), n, seed, threads));
         } else {
             throw InvalidArgument(
                 "protocol has no injective state key: gillespie engine unavailable");
@@ -573,14 +766,15 @@ template <typename Factory>
     }
     if (kind == EngineKind::hybrid) {
         if constexpr (InternableProtocol<P>) {
-            return std::make_unique<detail::HybridSimulation<P>>(factory(n), n, seed,
-                                                                 threads);
+            return with_identity(std::make_unique<detail::HybridSimulation<P>>(
+                factory(n), n, seed, threads));
         } else {
             throw InvalidArgument(
                 "protocol has no injective state key: hybrid engine unavailable");
         }
     }
-    return std::make_unique<detail::AgentSimulation<P>>(factory(n), n, seed);
+    return with_identity(
+        std::make_unique<detail::AgentSimulation<P>>(factory(n), n, seed));
 }
 
 }  // namespace ppsim

@@ -86,6 +86,28 @@ std::unique_ptr<Simulation> ProtocolRegistry::make_simulation(
     return entry(name).simulate(n, seed, engine, batch_mode, threads);
 }
 
+std::unique_ptr<Simulation> ProtocolRegistry::make_simulation(
+    const CheckpointHeader& header) const {
+    // A crash fault can checkpoint a single survivor; engine constructors
+    // demand two agents, and restore overwrites the population anyway.
+    const auto n = static_cast<std::size_t>(std::max<std::uint64_t>(header.population, 2));
+    return make_simulation(header.protocol, n, header.seed,
+                           parse_engine_kind(header.engine),
+                           parse_batch_mode(header.batch_mode),
+                           static_cast<std::size_t>(header.threads));
+}
+
+std::unique_ptr<Simulation> ProtocolRegistry::resume_simulation(
+    const std::string& path) const {
+    std::string payload;
+    const CheckpointHeader header = load_checkpoint(path, payload);
+    auto sim = make_simulation(header);
+    CheckpointReader reader(std::move(payload));
+    sim->restore_checkpoint(reader);
+    reader.expect_end();
+    return sim;
+}
+
 RunResult ProtocolRegistry::run_election(const std::string& name, std::size_t n,
                                          std::uint64_t seed, StepCount max_steps,
                                          EngineKind engine, BatchMode batch_mode,

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "../core/persist.hpp"
 #include "../core/protocol.hpp"
 #include "../core/simulation.hpp"
 
@@ -56,6 +57,23 @@ public:
         const std::string& name, std::size_t n, std::uint64_t seed,
         EngineKind engine = EngineKind::agent,
         BatchMode batch_mode = BatchMode::automatic, std::size_t threads = 1) const;
+
+    /// Rebuilds the simulation a checkpoint header describes: protocol by
+    /// registry name, engine and batch mode by their table names, seed and
+    /// threads from the header. The construction half of `--resume` — attach
+    /// the run's observers, then call `restore_checkpoint_file` on the
+    /// result. Throws on protocols, engines or batch modes this registry
+    /// does not know.
+    [[nodiscard]] std::unique_ptr<Simulation> make_simulation(
+        const CheckpointHeader& header) const;
+
+    /// One-call resume for observer-less runs: loads the PPCK file at
+    /// `path`, rebuilds the simulation its header describes and restores the
+    /// full run state into it. Runs with observers must instead construct
+    /// via `make_simulation(header)`, attach the observers, and then restore
+    /// — observer state is part of the checkpoint.
+    [[nodiscard]] std::unique_ptr<Simulation> resume_simulation(
+        const std::string& path) const;
 
     /// Runs a full election of `name` on n agents with the given seed.
     /// `max_steps` bounds the run; `engine` selects the back-end (the fast

@@ -7,13 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <sstream>
 
 #include "core/calibration.hpp"
 #include "core/engine.hpp"
 #include "core/persist.hpp"
 #include "protocols/pll.hpp"
+#include "protocols/registry.hpp"
 
 namespace ppsim {
 namespace {
@@ -284,6 +288,156 @@ TEST(CalibrationPersistence, RecalibrateOverwritesTheCache) {
     EXPECT_DOUBLE_EQ(reloaded.costs[0].wide_ns, 12.0);
 
     std::filesystem::remove_all(dir);
+}
+
+// --- checkpoint containers ("PPCK", core/persist.hpp) -----------------------
+//
+// Unlike the calibration cache (corruption = silent re-probe), a checkpoint
+// the user asked to resume from must either load exactly or fail with a
+// clear error — and a failed load must never leave a half-restored
+// simulation behind. These tests corrupt a valid container every way the
+// loader guards against and check both halves of that contract.
+
+/// A small valid checkpoint file to corrupt, plus the simulation that wrote
+/// it (still live, for no-partial-restore checks).
+std::unique_ptr<Simulation> write_sample_checkpoint(const std::string& path) {
+    auto sim = ProtocolRegistry::instance().make_simulation(
+        "pll", 64, /*seed=*/11, EngineKind::batched, BatchMode::pairwise, 1);
+    (void)sim->run_for(300);
+    sim->write_checkpoint(path);
+    return sim;
+}
+
+/// Loads the whole file, applies `mutate` to its bytes, writes it back.
+template <typename Mutator>
+void corrupt_file(const std::string& path, Mutator&& mutate) {
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in.good());
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        bytes = buffer.str();
+    }
+    mutate(bytes);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The error message a corrupted load fails with.
+std::string load_error(const std::string& path) {
+    std::string payload;
+    try {
+        (void)load_checkpoint(path, payload);
+    } catch (const InvalidArgument& e) {
+        return e.what();
+    }
+    return {};
+}
+
+TEST(CheckpointContainer, HeaderRoundTrips) {
+    const std::string path = temp_path("ppsim_ppck_roundtrip.ppck");
+    const auto sim = write_sample_checkpoint(path);
+    std::string payload;
+    const CheckpointHeader header = load_checkpoint(path, payload);
+    EXPECT_EQ(header.protocol, "pll");
+    EXPECT_EQ(header.engine, "batched");
+    EXPECT_EQ(header.batch_mode, "pairwise");
+    EXPECT_EQ(header.population, 64U);
+    EXPECT_EQ(header.step, 300U);
+    EXPECT_FALSE(payload.empty());
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointContainer, RejectsNonCheckpointFile) {
+    const std::string path = temp_path("ppsim_ppck_not_a_checkpoint.ppck");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "definitely not a checkpoint";
+    }
+    EXPECT_NE(load_error(path).find("is not a ppsim checkpoint file"),
+              std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointContainer, RejectsTruncatedFile) {
+    const std::string path = temp_path("ppsim_ppck_truncated.ppck");
+    (void)write_sample_checkpoint(path);
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size / 2);
+    std::string payload;
+    EXPECT_THROW((void)load_checkpoint(path, payload), InvalidArgument);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointContainer, RejectsBitFlippedPayload) {
+    const std::string path = temp_path("ppsim_ppck_bitflip.ppck");
+    (void)write_sample_checkpoint(path);
+    // The last 8 bytes are the checksum; the byte before them is payload.
+    corrupt_file(path, [](std::string& bytes) {
+        ASSERT_GT(bytes.size(), 9U);
+        bytes[bytes.size() - 9] = static_cast<char>(bytes[bytes.size() - 9] ^ 0x01);
+    });
+    EXPECT_NE(load_error(path).find("checksum mismatch"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointContainer, RejectsWrongFormatVersion) {
+    const std::string path = temp_path("ppsim_ppck_version.ppck");
+    (void)write_sample_checkpoint(path);
+    corrupt_file(path, [](std::string& bytes) {
+        // The container version is the u32 after the 4-byte magic.
+        ASSERT_GE(bytes.size(), 8U);
+        const std::uint32_t wrong = 0xFFFF'FFFF;
+        std::memcpy(bytes.data() + 4, &wrong, sizeof wrong);
+    });
+    EXPECT_NE(load_error(path).find("unsupported checkpoint format version"),
+              std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointContainer, RejectsWrongCpuSignature) {
+    const std::string path = temp_path("ppsim_ppck_cpu.ppck");
+    (void)write_sample_checkpoint(path);
+    corrupt_file(path, [](std::string& bytes) {
+        // Layout: magic u32, version u32, then two length-prefixed strings —
+        // the library version and the CPU signature. Flip the signature's
+        // first byte.
+        std::uint64_t lib_len = 0;
+        ASSERT_GE(bytes.size(), 16U);
+        std::memcpy(&lib_len, bytes.data() + 8, sizeof lib_len);
+        const std::size_t sig_len_at = 16 + static_cast<std::size_t>(lib_len);
+        std::uint64_t sig_len = 0;
+        ASSERT_GE(bytes.size(), sig_len_at + 8);
+        std::memcpy(&sig_len, bytes.data() + sig_len_at, sizeof sig_len);
+        ASSERT_GT(sig_len, 0U);  // cpu_signature() is never empty
+        bytes[sig_len_at + 8] = static_cast<char>(bytes[sig_len_at + 8] ^ 0x01);
+    });
+    EXPECT_NE(load_error(path).find("CPU signature mismatch"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointContainer, FailedResumeLeavesTheSimulationUntouched) {
+    // "No partial resume": a rejected file must leave the target simulation
+    // exactly where it was — state, counters and stream positions.
+    const std::string path = temp_path("ppsim_ppck_no_partial.ppck");
+    (void)write_sample_checkpoint(path);
+    corrupt_file(path, [](std::string& bytes) {
+        ASSERT_GT(bytes.size(), 9U);
+        bytes[bytes.size() - 9] = static_cast<char>(bytes[bytes.size() - 9] ^ 0x01);
+    });
+
+    auto victim = ProtocolRegistry::instance().make_simulation(
+        "pll", 64, /*seed=*/23, EngineKind::batched, BatchMode::pairwise, 1);
+    (void)victim->run_for(100);
+    CheckpointWriter before;
+    victim->save_checkpoint(before);
+    EXPECT_THROW(victim->restore_checkpoint_file(path), InvalidArgument);
+    CheckpointWriter after;
+    victim->save_checkpoint(after);
+    EXPECT_EQ(before.buffer(), after.buffer());
+    EXPECT_EQ(victim->steps(), 100U);
+    std::filesystem::remove(path);
 }
 
 TEST(CalibrationPersistence, InjectedTableBypassesProbeAndDisk) {

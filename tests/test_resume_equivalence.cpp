@@ -1,0 +1,501 @@
+// Resume-equivalence tests: the checkpoint/resume correctness contract
+// (docs/ARCHITECTURE.md "Checkpoint format & resume-equivalence contract").
+//
+// The contract: checkpoint a run at step k, rebuild the simulation from the
+// checkpoint, and the continued run is *bit-identical* to the uninterrupted
+// run at the same seed and thread count — same census, same counters, and
+// (the strongest form checked here) the same serialised run state byte for
+// byte, which pins every PRNG stream position, the interned state-id order,
+// the fault-plan progress and every observer's recorded history.
+//
+// Pausing is part of the stream contract exactly like --threads: stopping a
+// count engine at step k clamps a round there, so the "uninterrupted"
+// reference below is the *same* simulation object pausing at the same k
+// (write_checkpoint is const — taking the checkpoint never perturbs the
+// run) and then continuing in-process, while the resumed run continues from
+// a freshly constructed simulation restored from the file.
+//
+// Grid cells run every engine (agent, batched, gillespie, hybrid), every
+// batched pairing mode, and threads 1 and 4; dedicated cases cover hybrid
+// mid-switch checkpoints (a forced engine handoff before the checkpoint),
+// checkpoints taken mid-fault-plan (inside a silence window, with faults
+// both applied and pending), periodic-cadence checkpoints, observer
+// progress across the resume boundary (DeadlineObserver fires exactly once,
+// RecoveryObserver resolves identically), and loud rejection of mismatched
+// resumes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/batch_pairing.hpp"
+#include "core/calibration.hpp"
+#include "core/engine.hpp"
+#include "core/fault.hpp"
+#include "core/observer.hpp"
+#include "core/persist.hpp"
+#include "core/simulation.hpp"
+#include "protocols/pll.hpp"
+#include "protocols/registry.hpp"
+
+namespace ppsim {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Restores the ambient hybrid options on scope exit (the options are
+/// process-global and every test in this binary shares one process).
+class ScopedHybridOptions {
+public:
+    ScopedHybridOptions() : saved_(hybrid_options()) {}
+    ~ScopedHybridOptions() { set_hybrid_options(saved_); }
+
+private:
+    HybridOptions saved_;
+};
+
+/// A hand-built calibration table injected into every hybrid cell: no probe
+/// runs (probes time wall-clock and would make hybrid decisions
+/// machine-dependent), fully deterministic decisions. Shaped so the wide
+/// phase favours batched-bulk and a null-dominated tail favours gillespie.
+CalibrationTable injected_table() {
+    CalibrationTable table;
+    const auto set = [&table](HybridMode m, double wide, double narrow) {
+        ModeCost& cost = table.costs[static_cast<std::size_t>(m)];
+        cost.wide_ns = wide;
+        cost.narrow_ns = narrow;
+        cost.wide_exponent = 0.0;
+        cost.narrow_exponent = 0.0;
+    };
+    set(HybridMode::agent, 40.0, 40.0);
+    set(HybridMode::batched_pairwise, 10.0, 30.0);
+    set(HybridMode::batched_bulk, 8.0, 25.0);
+    set(HybridMode::gillespie, 30.0, 2.0);
+    table.probe_population = 0;  // raw anchors: no population rescaling
+    table.threads = 1;
+    return table;
+}
+
+void inject_hybrid_table() {
+    HybridOptions options;
+    options.injected = injected_table();
+    set_hybrid_options(options);
+}
+
+/// The full serialised run state — every PRNG position, the census, the
+/// counters, the fault progress and all observer payloads.
+std::string full_state(const Simulation& sim) {
+    CheckpointWriter w;
+    sim.save_checkpoint(w);
+    return w.take();
+}
+
+/// The resumed run must be indistinguishable from the reference: readable
+/// field comparisons first (so a failure names what diverged), then the
+/// byte-for-byte claim over the complete serialised state.
+void expect_same_run_state(const Simulation& resumed, const Simulation& reference) {
+    EXPECT_EQ(resumed.steps(), reference.steps());
+    EXPECT_EQ(resumed.leader_count(), reference.leader_count());
+    EXPECT_EQ(resumed.stabilization_step(), reference.stabilization_step());
+    EXPECT_EQ(resumed.population_size(), reference.population_size());
+    const ConfigurationSnapshot a = resumed.state_counts();
+    const ConfigurationSnapshot b = reference.state_counts();
+    ASSERT_EQ(a.counts.size(), b.counts.size()) << "census width diverged";
+    for (std::size_t i = 0; i < a.counts.size(); ++i) {
+        EXPECT_EQ(a.counts[i].key, b.counts[i].key) << "census entry " << i;
+        EXPECT_EQ(a.counts[i].count, b.counts[i].count) << "census entry " << i;
+        EXPECT_EQ(a.counts[i].role, b.counts[i].role) << "census entry " << i;
+    }
+    EXPECT_EQ(full_state(resumed), full_state(reference))
+        << "serialised run states differ: a PRNG stream, id order or counter "
+           "diverged after resume";
+}
+
+// --- the protocol × engine × batch-mode × threads grid ----------------------
+
+struct ResumeCell {
+    const char* protocol;
+    EngineKind engine;
+    BatchMode batch_mode;
+    std::size_t threads;
+};
+
+// All cells: n = 128, seed = 2019, pause at step 500, budget 50·n².
+constexpr ResumeCell resume_cells[] = {
+    {"pll", EngineKind::agent, BatchMode::automatic, 1},
+    {"pll", EngineKind::batched, BatchMode::automatic, 1},
+    {"pll", EngineKind::batched, BatchMode::pairwise, 1},
+    {"pll", EngineKind::batched, BatchMode::bulk, 1},
+    {"pll", EngineKind::gillespie, BatchMode::automatic, 1},
+    {"pll", EngineKind::hybrid, BatchMode::automatic, 1},
+    {"pll", EngineKind::batched, BatchMode::pairwise, 4},
+    {"pll", EngineKind::batched, BatchMode::bulk, 4},
+    {"pll", EngineKind::gillespie, BatchMode::automatic, 4},
+    {"pll", EngineKind::hybrid, BatchMode::automatic, 4},
+    {"lottery", EngineKind::agent, BatchMode::automatic, 1},
+    {"lottery", EngineKind::batched, BatchMode::automatic, 1},
+    {"lottery", EngineKind::gillespie, BatchMode::automatic, 1},
+    {"lottery", EngineKind::hybrid, BatchMode::automatic, 1},
+    {"lottery", EngineKind::batched, BatchMode::automatic, 4},
+    {"angluin06", EngineKind::agent, BatchMode::automatic, 1},
+    {"angluin06", EngineKind::batched, BatchMode::bulk, 1},
+    {"angluin06", EngineKind::gillespie, BatchMode::automatic, 4},
+};
+
+class ResumeEquivalence : public ::testing::TestWithParam<ResumeCell> {};
+
+TEST_P(ResumeEquivalence, ContinuedRunIsBitIdentical) {
+    const ResumeCell& cell = GetParam();
+    ScopedHybridOptions guard;
+    if (cell.engine == EngineKind::hybrid) inject_hybrid_table();
+
+    const std::size_t n = 128;
+    const std::uint64_t seed = 2019;
+    const StepCount pause = 500;
+    const auto budget = static_cast<StepCount>(n) * n * 50;
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+
+    const auto reference = registry.make_simulation(
+        cell.protocol, n, seed, cell.engine, cell.batch_mode, cell.threads);
+    (void)reference->run_for(pause);
+
+    const std::string path = temp_path(
+        std::string("ppsim_resume_") + cell.protocol + "_" +
+        std::string(to_string(cell.engine)) + "_" +
+        std::string(to_string(cell.batch_mode)) + "_t" +
+        std::to_string(cell.threads) + ".ppck");
+    reference->write_checkpoint(path);
+
+    const auto resumed = registry.resume_simulation(path);
+    EXPECT_EQ(resumed->steps(), pause);
+    expect_same_run_state(*resumed, *reference);  // identical at the checkpoint
+
+    (void)reference->run_until_one_leader(budget);
+    (void)resumed->run_until_one_leader(budget);
+    expect_same_run_state(*resumed, *reference);  // and after continuing
+    std::filesystem::remove(path);
+}
+
+std::string cell_name(const ::testing::TestParamInfo<ResumeCell>& info) {
+    return std::string(info.param.protocol) + "_" +
+           std::string(to_string(info.param.engine)) + "_" +
+           std::string(to_string(info.param.batch_mode)) + "_t" +
+           std::to_string(info.param.threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, ResumeEquivalence, ::testing::ValuesIn(resume_cells),
+                         cell_name);
+
+// --- hybrid mid-switch checkpoints ------------------------------------------
+
+TEST(ResumeEquivalenceHybrid, MidSwitchCheckpointResumesOnTheSameSegmentStream) {
+    ScopedHybridOptions guard;
+    inject_hybrid_table();
+    const std::size_t n = 128;
+    const std::uint64_t seed = 77;
+    using Sim = detail::HybridSimulation<Pll>;
+
+    // Reference: run in the initial mode, force a mid-run engine handoff
+    // (segment 1, a fresh stream split), run further, checkpoint.
+    Sim reference(Pll::for_population(n), n, seed, /*threads=*/1);
+    (void)reference.run_for(300);
+    reference.engine().force_mode(HybridMode::gillespie);
+    ASSERT_EQ(reference.engine().switches(), 1U);
+    (void)reference.run_for(200);
+
+    const std::string path = temp_path("ppsim_resume_hybrid_midswitch.ppck");
+    reference.write_checkpoint(path);
+
+    // Resumed: a fresh hybrid simulation (same protocol, seed, threads)
+    // restored from the file must come back in the post-switch mode, on the
+    // post-switch segment stream, and continue bit-identically.
+    Sim resumed(Pll::for_population(n), n, seed, /*threads=*/1);
+    resumed.restore_checkpoint_file(path);
+    EXPECT_EQ(resumed.engine().mode(), HybridMode::gillespie);
+    EXPECT_EQ(resumed.engine().switches(), 1U);
+    EXPECT_EQ(resumed.steps(), 500U);
+    expect_same_run_state(resumed, reference);
+
+    (void)reference.run_for(2000);
+    (void)resumed.run_for(2000);
+    expect_same_run_state(resumed, reference);
+    std::filesystem::remove(path);
+}
+
+TEST(ResumeEquivalenceHybrid, CheckpointCarriesTheCalibrationTable) {
+    // A resumed hybrid run must decide from the *checkpointed* table — the
+    // one that drove every decision so far — not from whatever the resuming
+    // process would probe or inject.
+    ScopedHybridOptions guard;
+    inject_hybrid_table();
+    const std::size_t n = 128;
+    using Sim = detail::HybridSimulation<Pll>;
+    Sim original(Pll::for_population(n), n, /*seed=*/3, /*threads=*/1);
+    (void)original.run_for(400);
+    const std::string path = temp_path("ppsim_resume_hybrid_table.ppck");
+    original.write_checkpoint(path);
+
+    // Resume under a *different* ambient table: the restored engine must
+    // carry the original's.
+    HybridOptions other;
+    CalibrationTable skewed = injected_table();
+    skewed.costs[0].wide_ns = 12345.0;
+    other.injected = skewed;
+    set_hybrid_options(other);
+    Sim resumed(Pll::for_population(n), n, /*seed=*/3, /*threads=*/1);
+    resumed.restore_checkpoint_file(path);
+    const CalibrationTable& restored = resumed.engine().calibration_table();
+    const CalibrationTable expected = injected_table();
+    for (std::size_t m = 0; m < hybrid_mode_count; ++m) {
+        EXPECT_DOUBLE_EQ(restored.costs[m].wide_ns, expected.costs[m].wide_ns);
+        EXPECT_DOUBLE_EQ(restored.costs[m].narrow_ns, expected.costs[m].narrow_ns);
+    }
+    std::filesystem::remove(path);
+}
+
+// --- checkpoints under a fault plan -----------------------------------------
+
+TEST(ResumeEquivalenceFaults, MidPlanCheckpointResumesRemainingFaults) {
+    // Checkpoint *inside* a silence window, after a crash was applied, with
+    // a rejoin and a reset still pending: the resumed run must hold the
+    // silence to its end and fire the remaining faults at identical steps.
+    ScopedHybridOptions guard;
+    inject_hybrid_table();
+    const std::size_t n = 128;
+    const std::uint64_t seed = 5;
+    const auto budget = static_cast<StepCount>(n) * n * 50;
+    FaultPlan plan;
+    plan.add(1.0, FaultAction::crash_fraction(0.25));      // step 128
+    plan.add(4.0, FaultAction::transient_silence(2.0));    // steps [512, 768)
+    plan.add(8.0, FaultAction::rejoin_count(32));          // step 1024
+    plan.add(12.0, FaultAction::reset_fraction(0.5));      // step 1536
+
+    const EngineKind engines[] = {EngineKind::agent, EngineKind::batched,
+                                  EngineKind::gillespie, EngineKind::hybrid};
+    for (const EngineKind engine : engines) {
+        const ProtocolRegistry& registry = ProtocolRegistry::instance();
+        const auto reference = registry.make_simulation(
+            "pll", n, seed, engine, BatchMode::automatic, /*threads=*/1);
+        reference->set_fault_plan(plan);
+        (void)reference->run_for(600);  // mid-silence: crash + silence applied
+        ASSERT_EQ(reference->faults_applied(), 2U)
+            << "on engine " << to_string(engine);
+
+        const std::string path =
+            temp_path(std::string("ppsim_resume_faults_") +
+                      std::string(to_string(engine)) + ".ppck");
+        reference->write_checkpoint(path);
+
+        const auto resumed = registry.resume_simulation(path);
+        EXPECT_EQ(resumed->faults_applied(), 2U);
+        EXPECT_EQ(resumed->fault_count(), 4U);
+        EXPECT_EQ(resumed->fault_initial_population(), n);
+        expect_same_run_state(*resumed, *reference);
+
+        (void)reference->run_until_one_leader(budget);
+        (void)resumed->run_until_one_leader(budget);
+        EXPECT_EQ(resumed->faults_applied(), 4U)
+            << "on engine " << to_string(engine);
+        expect_same_run_state(*resumed, *reference);
+        std::filesystem::remove(path);
+    }
+}
+
+// --- periodic cadence checkpoints -------------------------------------------
+
+TEST(ResumeEquivalencePeriodic, CadenceCheckpointResumesBitIdentically) {
+    // set_checkpoint(path, every): the run rewrites `path` at every cadence
+    // multiple. Resuming the last write and continuing on the same cadence
+    // matches the reference continuing in-process (the cadence is part of
+    // the stream contract — both runs slice rounds at the same multiples).
+    const std::size_t n = 128;
+    const StepCount cadence = 256;
+    const std::string path = temp_path("ppsim_resume_periodic.ppck");
+    const std::string path2 = temp_path("ppsim_resume_periodic_b.ppck");
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+
+    const auto reference = registry.make_simulation(
+        "pll", n, /*seed=*/4242, EngineKind::batched, BatchMode::pairwise, 1);
+    reference->set_checkpoint(path, cadence);
+    (void)reference->run_for(1024);  // writes at 256, 512, 768, 1024
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    const auto resumed = registry.resume_simulation(path);
+    EXPECT_EQ(resumed->steps(), 1024U);  // the last cadence multiple
+    expect_same_run_state(*resumed, *reference);
+
+    resumed->set_checkpoint(path2, cadence);
+    (void)reference->run_for(512);
+    (void)resumed->run_for(512);
+    expect_same_run_state(*resumed, *reference);
+    std::filesystem::remove(path);
+    std::filesystem::remove(path2);
+}
+
+// --- observers across the resume boundary -----------------------------------
+
+TEST(ResumeEquivalenceObservers, PendingDeadlineFiresOnceAtTheExactStep) {
+    // Deadline still ahead of the checkpoint: the resumed run must fire it
+    // exactly once, at the same step as the uninterrupted run.
+    const std::size_t n = 128;
+    const double deadline_time = 8.0;  // step 1024 > pause 600
+    const auto budget = static_cast<StepCount>(n) * n * 50;
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+
+    const auto reference = registry.make_simulation(
+        "pll", n, /*seed=*/9, EngineKind::batched, BatchMode::pairwise, 1);
+    DeadlineObserver reference_obs(deadline_time, n);
+    reference->add_observer(reference_obs);
+    (void)reference->run_for(600);
+    ASSERT_FALSE(reference_obs.report().has_value());
+
+    const std::string path = temp_path("ppsim_resume_deadline_pending.ppck");
+    reference->write_checkpoint(path);
+
+    std::string payload;
+    const CheckpointHeader header = load_checkpoint(path, payload);
+    const auto resumed = registry.make_simulation(header);
+    DeadlineObserver resumed_obs(deadline_time, n);
+    resumed->add_observer(resumed_obs);  // attach before restoring
+    resumed->restore_checkpoint_file(path);
+    EXPECT_FALSE(resumed_obs.report().has_value());
+
+    (void)reference->run_until_one_leader(budget);
+    (void)resumed->run_until_one_leader(budget);
+    ASSERT_TRUE(reference_obs.report().has_value());
+    ASSERT_TRUE(resumed_obs.report().has_value());
+    EXPECT_EQ(resumed_obs.report()->step, reference_obs.report()->step);
+    EXPECT_EQ(resumed_obs.report()->leader_count,
+              reference_obs.report()->leader_count);
+    EXPECT_EQ(resumed_obs.report()->live_states, reference_obs.report()->live_states);
+    EXPECT_EQ(resumed_obs.report()->reached_deadline,
+              reference_obs.report()->reached_deadline);
+    EXPECT_EQ(resumed_obs.report()->stabilized, reference_obs.report()->stabilized);
+    expect_same_run_state(*resumed, *reference);
+    std::filesystem::remove(path);
+}
+
+TEST(ResumeEquivalenceObservers, FiredDeadlineDoesNotFireAgainAfterResume) {
+    // Deadline already behind the checkpoint: the restored observer carries
+    // the report and must never record a second one.
+    const std::size_t n = 128;
+    const double deadline_time = 2.0;  // step 256 < pause 600
+    const auto budget = static_cast<StepCount>(n) * n * 50;
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+
+    const auto reference = registry.make_simulation(
+        "pll", n, /*seed=*/9, EngineKind::agent, BatchMode::automatic, 1);
+    DeadlineObserver reference_obs(deadline_time, n);
+    reference->add_observer(reference_obs);
+    (void)reference->run_for(600);
+    ASSERT_TRUE(reference_obs.report().has_value());
+    ASSERT_EQ(reference_obs.report()->step, 256U);
+
+    const std::string path = temp_path("ppsim_resume_deadline_fired.ppck");
+    reference->write_checkpoint(path);
+
+    std::string payload;
+    const CheckpointHeader header = load_checkpoint(path, payload);
+    const auto resumed = registry.make_simulation(header);
+    DeadlineObserver resumed_obs(deadline_time, n);
+    resumed->add_observer(resumed_obs);
+    resumed->restore_checkpoint_file(path);
+    ASSERT_TRUE(resumed_obs.report().has_value());
+    EXPECT_EQ(resumed_obs.report()->step, 256U);
+    EXPECT_EQ(resumed_obs.report()->leader_count,
+              reference_obs.report()->leader_count);
+
+    (void)reference->run_until_one_leader(budget);
+    (void)resumed->run_until_one_leader(budget);
+    // Still the original report — fired exactly once across the boundary.
+    EXPECT_EQ(resumed_obs.report()->step, 256U);
+    EXPECT_EQ(reference_obs.report()->step, 256U);
+    expect_same_run_state(*resumed, *reference);
+    std::filesystem::remove(path);
+}
+
+TEST(ResumeEquivalenceObservers, RecoveryObserverResolvesIdenticallyAcrossResume) {
+    const std::size_t n = 128;
+    const auto budget = static_cast<StepCount>(n) * n * 50;
+    FaultPlan plan;
+    plan.add(1.0, FaultAction::crash_fraction(0.25));  // step 128
+    plan.add(10.0, FaultAction::reset_fraction(0.5));  // step 1280
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+
+    const auto reference = registry.make_simulation(
+        "pll", n, /*seed=*/31, EngineKind::batched, BatchMode::pairwise, 1);
+    reference->set_fault_plan(plan);
+    RecoveryObserver reference_obs(n);
+    reference->add_observer(reference_obs);
+    (void)reference->run_for(600);  // first fault applied, second pending
+    ASSERT_EQ(reference_obs.records().size(), 1U);
+
+    const std::string path = temp_path("ppsim_resume_recovery.ppck");
+    reference->write_checkpoint(path);
+
+    std::string payload;
+    const CheckpointHeader header = load_checkpoint(path, payload);
+    const auto resumed = registry.make_simulation(header);
+    RecoveryObserver resumed_obs(n);
+    resumed->add_observer(resumed_obs);
+    resumed->restore_checkpoint_file(path);
+    ASSERT_EQ(resumed_obs.records().size(), 1U);
+    EXPECT_EQ(resumed_obs.records()[0].fault_step,
+              reference_obs.records()[0].fault_step);
+
+    (void)reference->run_until_one_leader(budget);
+    (void)resumed->run_until_one_leader(budget);
+    ASSERT_EQ(resumed_obs.records().size(), reference_obs.records().size());
+    for (std::size_t i = 0; i < resumed_obs.records().size(); ++i) {
+        EXPECT_EQ(resumed_obs.records()[i].fault_index,
+                  reference_obs.records()[i].fault_index);
+        EXPECT_EQ(resumed_obs.records()[i].fault_step,
+                  reference_obs.records()[i].fault_step);
+        EXPECT_EQ(resumed_obs.records()[i].recovery_step,
+                  reference_obs.records()[i].recovery_step);
+    }
+    expect_same_run_state(*resumed, *reference);
+    std::filesystem::remove(path);
+}
+
+// --- mismatched resumes fail loudly -----------------------------------------
+
+TEST(ResumeEquivalenceRejects, MismatchedSimulationOrObserversAreRejected) {
+    const std::size_t n = 64;
+    const ProtocolRegistry& registry = ProtocolRegistry::instance();
+    const auto original = registry.make_simulation(
+        "pll", n, /*seed=*/1, EngineKind::batched, BatchMode::pairwise, 1);
+    (void)original->run_for(200);
+    const std::string path = temp_path("ppsim_resume_mismatch.ppck");
+    original->write_checkpoint(path);
+
+    // Wrong protocol.
+    const auto wrong_protocol = registry.make_simulation(
+        "lottery", n, 1, EngineKind::batched, BatchMode::pairwise, 1);
+    EXPECT_THROW(wrong_protocol->restore_checkpoint_file(path), InvalidArgument);
+
+    // Wrong engine.
+    const auto wrong_engine = registry.make_simulation(
+        "pll", n, 1, EngineKind::gillespie, BatchMode::automatic, 1);
+    EXPECT_THROW(wrong_engine->restore_checkpoint_file(path), InvalidArgument);
+
+    // Wrong batch mode.
+    const auto wrong_mode = registry.make_simulation(
+        "pll", n, 1, EngineKind::batched, BatchMode::bulk, 1);
+    EXPECT_THROW(wrong_mode->restore_checkpoint_file(path), InvalidArgument);
+
+    // Observer-count mismatch: the checkpoint has none attached.
+    const auto extra_observer = registry.make_simulation(
+        "pll", n, 1, EngineKind::batched, BatchMode::pairwise, 1);
+    DeadlineObserver obs(1.0, n);
+    extra_observer->add_observer(obs);
+    EXPECT_THROW(extra_observer->restore_checkpoint_file(path), InvalidArgument);
+
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ppsim

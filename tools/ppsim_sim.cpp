@@ -71,6 +71,22 @@ ArgParser make_parser() {
                  "");
     args.declare("snapshot-csv", "output CSV path for --snapshot-at",
                  "snapshots.csv");
+    args.declare("checkpoint",
+                 "run one seeded election and write its run state to this "
+                 "PPCK checkpoint file at the end (and mid-run with "
+                 "--checkpoint-every); continue it later with --resume",
+                 "");
+    args.declare("checkpoint-every",
+                 "mid-run checkpoint cadence in interactions for --checkpoint "
+                 "(0 = final state only); the cadence is part of the seeded "
+                 "replay contract, exactly like --threads",
+                 "0");
+    args.declare("resume",
+                 "resume a run from a PPCK checkpoint file and continue it to "
+                 "a single leader (protocol, engine, seed and threads come "
+                 "from the file; combine with --checkpoint to keep "
+                 "checkpointing)",
+                 "");
     args.declare("inject",
                  "inject a fault at a model-time point; repeatable; spec "
                  "t=<time>:crash|rejoin|reset|silence=<value> (fractions for "
@@ -273,6 +289,16 @@ int run(const ArgParser& args) {
                                      args.get_string("snapshot-at", "").empty()),
             "--deadline cannot be combined with --trajectory or --snapshot-at");
 
+    const std::string checkpoint_path = args.get_string("checkpoint", "");
+    const StepCount checkpoint_every = args.get_u64("checkpoint-every", 0);
+    require(checkpoint_every == 0 || !checkpoint_path.empty(),
+            "--checkpoint-every needs --checkpoint (the file to write)");
+    require((checkpoint_path.empty() && args.get_string("resume", "").empty()) ||
+                (args.get_string("trajectory", "").empty() &&
+                 args.get_string("snapshot-at", "").empty()),
+            "--checkpoint/--resume run a single seeded election; they cannot "
+            "be combined with --trajectory or --snapshot-at");
+
     if (const std::string path = args.get_string("trajectory", ""); !path.empty()) {
         StepCount stride = args.get_u64("trajectory-every", 0);
         if (stride == 0) stride = std::max<StepCount>(1, n / 4);
@@ -282,6 +308,43 @@ int run(const ArgParser& args) {
                                 fault_plan)
                    ? 0
                    : 1;
+    }
+
+    if (const std::string resume = args.get_string("resume", ""); !resume.empty()) {
+        require(fault_plan.empty(),
+                "--resume continues the checkpointed run (its fault plan "
+                "included); it cannot be combined with --inject or --scenario");
+        const auto sim = registry.resume_simulation(resume);
+        const StepCount resumed_at = sim->steps();
+        if (!checkpoint_path.empty() && checkpoint_every > 0) {
+            sim->set_checkpoint(checkpoint_path, checkpoint_every);
+        }
+        const RunResult result = sim->run_until_one_leader(
+            StepBudget::n_log_n(sim->population_size(), factor));
+        if (!checkpoint_path.empty()) sim->write_checkpoint(checkpoint_path);
+        std::cout << "resumed " << sim->protocol_name() << " from " << resume
+                  << " at step " << resumed_at << " (engine "
+                  << to_string(sim->engine_kind()) << "): "
+                  << (result.converged ? "converged" : "did not converge")
+                  << " at step " << result.steps << ", " << result.leader_count
+                  << " leader(s)\n";
+        if (!checkpoint_path.empty()) std::cout << "wrote " << checkpoint_path << "\n";
+        return result.converged ? 0 : 1;
+    }
+
+    if (!checkpoint_path.empty()) {
+        const auto sim = registry.make_simulation(protocol, n, seed, engine,
+                                                  batch_mode, engine_threads);
+        if (!fault_plan.empty()) sim->set_fault_plan(fault_plan);
+        if (checkpoint_every > 0) sim->set_checkpoint(checkpoint_path, checkpoint_every);
+        const RunResult result =
+            sim->run_until_one_leader(StepBudget::n_log_n(n, factor));
+        sim->write_checkpoint(checkpoint_path);
+        std::cout << "wrote " << checkpoint_path << " (protocol " << protocol
+                  << ", engine " << to_string(engine) << ", step " << result.steps
+                  << ", " << result.leader_count << " leader(s), "
+                  << (result.converged ? "converged" : "did not converge") << ")\n";
+        return result.converged ? 0 : 1;
     }
 
     if (const std::string at = args.get_string("snapshot-at", ""); !at.empty()) {
